@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks of the simulator's hot paths.
+//!
+//! These benches guard the wall-clock cost of the pieces every figure
+//! reproduction exercises thousands of times: the max-min fair-share
+//! solver, the deterministic RNGs, the partitioners' bulk assignment,
+//! the IFile codec, and a full end-to-end job.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mapreduce::ifile::{IFileReader, IFileWriter};
+use mapreduce::io::vint;
+use mapreduce::partition::Partitioner;
+use mrbench::partitioners::{AvgPartitioner, RandPartitioner, SkewPartitioner};
+use mrbench::{run, BenchConfig, MicroBenchmark};
+use simcore::rng::{JavaRandom, Xoshiro256pp};
+use simcore::units::ByteSize;
+use simnet::fairshare::{max_min_rates, FlowSpec};
+use simnet::Interconnect;
+
+fn bench_fairshare(c: &mut Criterion) {
+    // A realistic shuffle incast: 16 nodes, 8 reducers x 5 copies.
+    let mut flows = Vec::new();
+    for r in 0..8usize {
+        for m in 0..5usize {
+            let src = (r * 3 + m) % 16;
+            let dst = (r * 2 + 1) % 16;
+            if src != dst {
+                flows.push(FlowSpec { src, dst });
+            }
+        }
+    }
+    let caps = vec![950e6; 16];
+    c.bench_function("fairshare/40_flows_16_nodes", |b| {
+        b.iter(|| max_min_rates(black_box(&flows), &caps, &caps, None))
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/java_random_next_int_bound", |b| {
+        let mut r = JavaRandom::new(42);
+        b.iter(|| black_box(r.next_int_bound(8)))
+    });
+    c.bench_function("rng/xoshiro_next_u64", |b| {
+        let mut r = Xoshiro256pp::new(42);
+        b.iter(|| black_box(r.next_u64()))
+    });
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut no_keys = |_: u64, _: &mut Vec<u8>| {};
+    c.bench_function("partition/avg_closed_form_1m", |b| {
+        b.iter(|| {
+            let mut p = AvgPartitioner;
+            black_box(p.assign_counts(1_000_000, 8, &mut no_keys))
+        })
+    });
+    c.bench_function("partition/rand_per_record_100k", |b| {
+        b.iter(|| {
+            let mut p = RandPartitioner::new(7);
+            black_box(p.assign_counts(100_000, 8, &mut no_keys))
+        })
+    });
+    c.bench_function("partition/skew_per_record_100k", |b| {
+        b.iter(|| {
+            let mut p = SkewPartitioner::new(7);
+            black_box(p.assign_counts(100_000, 8, &mut no_keys))
+        })
+    });
+}
+
+fn bench_ifile(c: &mut Criterion) {
+    let key = vec![0xABu8; 100];
+    let value = vec![0xCDu8; 1000];
+    c.bench_function("ifile/write_1k_records", |b| {
+        b.iter(|| {
+            let mut w = IFileWriter::new();
+            for _ in 0..1000 {
+                w.append(black_box(&key), black_box(&value));
+            }
+            black_box(w.close())
+        })
+    });
+    let stream = {
+        let mut w = IFileWriter::new();
+        for _ in 0..1000 {
+            w.append(&key, &value);
+        }
+        w.close()
+    };
+    c.bench_function("ifile/read_1k_records", |b| {
+        b.iter(|| {
+            let mut r = IFileReader::new(black_box(&stream)).unwrap();
+            let mut n = 0u32;
+            while r.next().unwrap().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("ifile/vint_round_trip", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(16);
+            vint::write_vlong(&mut buf, black_box(123_456_789));
+            let mut pos = 0;
+            black_box(vint::read_vlong(&buf, &mut pos).unwrap())
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut config = BenchConfig::cluster_a_default(
+        MicroBenchmark::Avg,
+        Interconnect::IpoibQdr,
+        ByteSize::from_mib(512),
+    );
+    config.slaves = 2;
+    config.num_maps = 4;
+    config.num_reduces = 4;
+    c.bench_function("engine/512mib_job_4m_4r", |b| {
+        b.iter_batched(
+            || config.clone(),
+            |cfg| black_box(run(&cfg).unwrap().job_time_secs()),
+            BatchSize::SmallInput,
+        )
+    });
+    // The paper's full anchor cell, as the heavyweight reference point.
+    let anchor = BenchConfig::cluster_a_default(
+        MicroBenchmark::Avg,
+        Interconnect::IpoibQdr,
+        ByteSize::from_gib(16),
+    );
+    c.bench_function("engine/fig2_anchor_cell_16gb", |b| {
+        b.iter_batched(
+            || anchor.clone(),
+            |cfg| black_box(run(&cfg).unwrap().job_time_secs()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fairshare,
+    bench_rng,
+    bench_partitioners,
+    bench_ifile,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Figure 7: resource utilization on one slave node during MR-AVG.
+//!
+//! Configuration (paper Sect. 5.2): MR-AVG with 16 GB of intermediate
+//! data, 1 KiB `BytesWritable` pairs, 16 maps / 8 reduces on 4 slaves.
+//! Panel (a) plots CPU utilization (%) per one-second sample; panel (b)
+//! plots network throughput (MB received per second) on the same slave.
+
+use mrbench::calib::claims;
+use mrbench::{run, BenchConfig, BenchReport, MicroBenchmark};
+use mrbench_bench::{check_shape, figure_header, CLUSTER_A_NETWORKS};
+use simcore::units::ByteSize;
+use simnet::NodeId;
+
+fn sample_row(report: &BenchReport, node: usize) -> (Vec<f64>, Vec<f64>) {
+    let cpu = report
+        .cpu_series(node)
+        .samples()
+        .iter()
+        .map(|s| s.value)
+        .collect();
+    let rx = report
+        .rx_series(node)
+        .samples()
+        .iter()
+        .map(|s| s.value)
+        .collect();
+    (cpu, rx)
+}
+
+fn print_series(label: &str, values: &[f64], stride: usize) {
+    print!("{label:>16}");
+    for v in values.iter().step_by(stride) {
+        print!(" {v:>5.0}");
+    }
+    println!();
+}
+
+fn main() {
+    figure_header(
+        "Figure 7",
+        "Resource utilization on one slave node for MR-AVG (16 GB) on Cluster A",
+    );
+
+    let mut reports = Vec::new();
+    for ic in CLUSTER_A_NETWORKS {
+        let config = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            ic,
+            ByteSize::from_gib(16),
+        );
+        reports.push((ic, run(&config).expect("valid config")));
+    }
+
+    // Print a decimated view of both series for slave 0 (full resolution
+    // is in the JobResult; the paper's plot is also 1 Hz).
+    let node = 0;
+    let stride = 5;
+    println!("Fig 7(a) CPU utilization (%), slave {node}, every {stride}th second:");
+    for (ic, report) in &reports {
+        let (cpu, _) = sample_row(report, node);
+        print_series(ic.label(), &cpu, stride);
+    }
+    println!();
+    println!("Fig 7(b) network throughput (MB/s received), slave {node}, every {stride}th second:");
+    for (ic, report) in &reports {
+        let (_, rx) = sample_row(report, node);
+        print_series(ic.label(), &rx, stride);
+    }
+    println!();
+
+    println!("shape checks against the paper's prose:");
+    let peaks: Vec<f64> = reports
+        .iter()
+        .map(|(_, r)| {
+            // Peak over all slaves, as a dstat on any slave would show.
+            (0..r.config.slaves)
+                .map(|n| r.rx_series(n).peak().unwrap_or(0.0))
+                .fold(0.0f64, f64::max)
+        })
+        .collect();
+    check_shape(
+        "peak rx on 1GigE (MB/s)",
+        claims::PEAK_RX_MBPS_GIGE1,
+        peaks[0],
+        0.2,
+    );
+    check_shape(
+        "peak rx on 10GigE (MB/s)",
+        claims::PEAK_RX_MBPS_GIGE10,
+        peaks[1],
+        0.25,
+    );
+    check_shape(
+        "peak rx on IPoIB QDR (MB/s)",
+        claims::PEAK_RX_MBPS_IPOIB,
+        peaks[2],
+        0.25,
+    );
+
+    // "CPU utilization trends of 10GigE and IPoIB are similar to that of
+    //  1GigE": compare mean CPU% over the job.
+    let cpu_means: Vec<f64> = reports
+        .iter()
+        .map(|(_, r)| r.cpu_series(node).mean().unwrap_or(0.0))
+        .collect();
+    let spread = cpu_means
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b))
+        - cpu_means.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    println!(
+        "  [{}] CPU trends similar across networks: mean CPU {:.0}% / {:.0}% / {:.0}% (spread {:.0} pts)",
+        if spread < 20.0 { "ok      " } else { "DEVIATES" },
+        cpu_means[0],
+        cpu_means[1],
+        cpu_means[2],
+        spread
+    );
+
+    // Sanity: the byte integral of the rx series matches what the node
+    // actually received.
+    let (_, report) = &reports[2];
+    let rx_total_mb: f64 = report
+        .rx_series(node)
+        .samples()
+        .iter()
+        .map(|s| s.value)
+        .sum();
+    let expected_mb =
+        report.result.counters.remote_shuffle_bytes as f64 / 1e6 / report.config.slaves as f64;
+    println!(
+        "  [info    ] slave {node} received ~{:.0} MB over the job (cluster-wide remote shuffle / slaves = {:.0} MB)",
+        rx_total_mb, expected_mb
+    );
+    let _ = NodeId(0); // slave ids are NodeId in the underlying API
+}

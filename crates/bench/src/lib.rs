@@ -1,0 +1,130 @@
+//! # mrbench-bench — the experiment harness
+//!
+//! One binary per figure of the paper (`fig2` … `fig8`, plus `summary`),
+//! each regenerating the corresponding series: same workloads, same
+//! parameter sweeps, same table rows. Shape claims from the paper's prose
+//! are self-checked and reported as `ok` / `DEVIATES` lines, never
+//! panics — the point is to *measure* the reproduction, not to hide it.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p mrbench-bench --bin fig2
+//! ```
+
+#![warn(missing_docs)]
+
+use simcore::units::ByteSize;
+use simnet::Interconnect;
+
+use mrbench::{BenchConfig, Sweep};
+
+/// The shuffle sizes the Cluster A figures sweep.
+pub fn paper_sizes() -> Vec<ByteSize> {
+    [8u64, 16, 24, 32].map(ByteSize::from_gib).to_vec()
+}
+
+/// The three Cluster A interconnects (Figs. 2–7).
+pub const CLUSTER_A_NETWORKS: [Interconnect; 3] = [
+    Interconnect::GigE1,
+    Interconnect::GigE10,
+    Interconnect::IpoibQdr,
+];
+
+/// Run one panel: a (size × interconnect) grid with a config builder.
+pub fn run_panel(
+    title: &str,
+    sizes: &[ByteSize],
+    networks: &[Interconnect],
+    make: impl Fn(ByteSize, Interconnect) -> BenchConfig,
+) -> Sweep {
+    let sweep = Sweep::run_grid(sizes, networks, make).expect("valid panel config");
+    print!("{}", sweep.table(title));
+    println!();
+    sweep
+}
+
+/// Print the improvement rows the paper's prose quotes: percentage gain
+/// of each faster network over the slowest, per shuffle size.
+pub fn print_improvements(sweep: &Sweep) {
+    let slowest = sweep.interconnects[0];
+    print!("{:>12}", "improvement");
+    for ic in &sweep.interconnects[1..] {
+        print!("{:>18}", format!("vs {}", ic.label()));
+    }
+    println!();
+    for &size in &sweep.sizes {
+        print!("{:>12}", size.to_string());
+        for &ic in &sweep.interconnects[1..] {
+            let imp = sweep.improvement_pct(size, slowest, ic).unwrap_or(f64::NAN);
+            print!("{:>17.1}%", imp);
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Outcome of one shape check.
+pub struct ShapeCheck {
+    /// What was checked.
+    pub name: String,
+    /// The paper's value.
+    pub expected: f64,
+    /// Our measurement.
+    pub measured: f64,
+    /// Whether it is within tolerance.
+    pub ok: bool,
+}
+
+/// Compare a measured value against a paper claim with a relative
+/// tolerance, print the verdict, and return it for aggregation.
+pub fn check_shape(name: &str, expected: f64, measured: f64, rel_tol: f64) -> ShapeCheck {
+    let ok = if expected == 0.0 {
+        measured.abs() < rel_tol
+    } else {
+        ((measured - expected) / expected).abs() <= rel_tol
+    };
+    println!(
+        "  [{}] {name}: paper {:.1}, measured {:.1}",
+        if ok { "ok      " } else { "DEVIATES" },
+        expected,
+        measured
+    );
+    ShapeCheck {
+        name: name.to_owned(),
+        expected,
+        measured,
+        ok,
+    }
+}
+
+/// Print the standard header for a figure binary.
+pub fn figure_header(fig: &str, caption: &str) {
+    println!("=====================================================================");
+    println!("{fig} — {caption}");
+    println!("=====================================================================");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_are_the_figure_axis() {
+        let sizes = paper_sizes();
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes[0], ByteSize::from_gib(8));
+        assert_eq!(sizes[3], ByteSize::from_gib(32));
+    }
+
+    #[test]
+    fn shape_check_tolerances() {
+        let ok = check_shape("x", 100.0, 110.0, 0.2);
+        assert!(ok.ok);
+        let bad = check_shape("y", 100.0, 200.0, 0.2);
+        assert!(!bad.ok);
+        let zero = check_shape("z", 0.0, 0.05, 0.1);
+        assert!(zero.ok);
+    }
+}

@@ -1,0 +1,651 @@
+//! Local-disk simulation with an OS page-cache model.
+//!
+//! Hadoop stripes intermediate data across the directories listed in
+//! `mapred.local.dir`, one per physical disk. Each disk serves requests in
+//! FIFO order within a priority class; a request costs one positioning
+//! delay plus its payload over the sequential bandwidth for its direction.
+//!
+//! ## Page cache
+//!
+//! Spill files are written *without* fsync: in the real system they land
+//! in the page cache and the task continues at memory speed. The kernel
+//! writes back asynchronously and throttles the writer only when dirty
+//! pages exceed the dirty threshold (`vm.dirty_ratio`, ~20 % of RAM).
+//! Reads of recently written data hit the cache. [`DiskSim::submit_cached`]
+//! models this faithfully:
+//!
+//! * the part of a write that fits under the dirty budget completes at
+//!   memory-copy speed, and its write-back is queued to the spindles as
+//!   chunked **background** requests that yield to all foreground I/O;
+//! * the part that exceeds the budget is throttled to disk speed
+//!   (foreground), exactly like a `balance_dirty_pages` stall;
+//! * deleting a transient file ([`DiskSim::discard_writeback`]) cancels
+//!   its still-queued write-back — dirty pages of deleted files are
+//!   dropped, never written;
+//! * reads of recently written data are served from memory while the
+//!   node's recent-write footprint fits the cache budget (~60 % of RAM).
+
+use std::collections::VecDeque;
+
+use simcore::time::{SimDuration, SimTime};
+use simcore::units::ByteSize;
+
+use crate::node::DiskSpec;
+
+/// Handle to a queued disk request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IoId(u64);
+
+/// Read or write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoKind {
+    /// Sequential read.
+    Read,
+    /// Sequential write.
+    Write,
+}
+
+/// A finished I/O, reported by [`DiskSim::advance_to`].
+#[derive(Clone, Copy, Debug)]
+pub struct IoCompletion {
+    /// The finished request.
+    pub id: IoId,
+    /// Node whose disk served it.
+    pub node: usize,
+    /// Caller-supplied correlation tag.
+    pub tag: u64,
+}
+
+/// Memory-copy service rate for page-cache hits.
+const MEMCPY_BYTES_PER_SEC: f64 = 3.0e9;
+
+/// Background write-back is issued in chunks of this size so it cannot
+/// block foreground I/O for long (non-preemptive service).
+const WRITEBACK_CHUNK: u64 = 64 * 1024 * 1024;
+
+#[derive(Clone, Debug)]
+struct Request {
+    id: u64,
+    service: SimDuration,
+    tag: u64,
+    node: usize,
+    /// Nonzero for background write-back: occupies the spindle but emits
+    /// no external completion; frees dirty budget instead.
+    writeback_bytes: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Disk {
+    spec: DiskSpec,
+    /// Foreground queue: task-blocking reads and throttled writes.
+    fg: VecDeque<Request>,
+    /// Background queue: page-cache write-back; served only when `fg` is
+    /// empty.
+    bg: VecDeque<Request>,
+    /// The request currently in service and when it finishes.
+    in_service: Option<(Request, SimTime)>,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl Disk {
+    fn start_next(&mut self, now: SimTime) {
+        if self.in_service.is_none() {
+            if let Some(req) = self.fg.pop_front().or_else(|| self.bg.pop_front()) {
+                let done = now + req.service;
+                self.in_service = Some((req, done));
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct NodeCache {
+    /// Dirty bytes whose write-back is still pending on the spindles.
+    dirty: f64,
+    /// Writers are throttled to disk speed beyond this many dirty bytes.
+    dirty_budget: f64,
+    /// Recently written bytes assumed still resident for reads.
+    resident: f64,
+    resident_budget: f64,
+}
+
+/// FIFO disk queues for a whole cluster, with an optional page-cache
+/// model.
+pub struct DiskSim {
+    /// disks[node][k]
+    disks: Vec<Vec<Disk>>,
+    /// Round-robin spill-target cursor per node.
+    rr: Vec<usize>,
+    next_id: u64,
+    clock: SimTime,
+    /// Per-node page-cache state (None until configured).
+    caches: Vec<Option<NodeCache>>,
+    /// Pending cache-lane completions, ordered by (time, id).
+    cache_lane: VecDeque<(SimTime, u64, IoCompletion)>,
+}
+
+impl DiskSim {
+    /// Build from per-node disk lists.
+    pub fn new(node_disks: Vec<Vec<DiskSpec>>) -> Self {
+        assert!(
+            node_disks.iter().all(|d| !d.is_empty()),
+            "every node needs at least one disk"
+        );
+        let n = node_disks.len();
+        DiskSim {
+            disks: node_disks
+                .into_iter()
+                .map(|specs| {
+                    specs
+                        .into_iter()
+                        .map(|spec| Disk {
+                            spec,
+                            fg: VecDeque::new(),
+                            bg: VecDeque::new(),
+                            in_service: None,
+                            bytes_read: 0,
+                            bytes_written: 0,
+                        })
+                        .collect()
+                })
+                .collect(),
+            rr: vec![0; n],
+            next_id: 0,
+            clock: SimTime::ZERO,
+            caches: vec![None; n],
+            cache_lane: VecDeque::new(),
+        }
+    }
+
+    /// Enable the page-cache model on every node, sized from `memory`.
+    pub fn enable_page_cache(&mut self, memory: ByteSize) {
+        for node in 0..self.disks.len() {
+            self.caches[node] = Some(NodeCache {
+                dirty: 0.0,
+                dirty_budget: memory.as_bytes() as f64 * 0.20,
+                resident: 0.0,
+                resident_budget: memory.as_bytes() as f64 * 0.60,
+            });
+        }
+    }
+
+    /// Disable the page-cache model: every cached submission degrades to
+    /// raw disk I/O (ablation studies).
+    pub fn disable_page_cache(&mut self) {
+        for c in &mut self.caches {
+            *c = None;
+        }
+    }
+
+    /// Homogeneous helper.
+    pub fn homogeneous(n_nodes: usize, disks_per_node: usize, spec: DiskSpec) -> Self {
+        DiskSim::new(vec![vec![spec; disks_per_node]; n_nodes])
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Submit `bytes` of `kind` I/O on `node` directly to the spindles
+    /// (no page-cache involvement), striping round-robin over its disks.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        bytes: ByteSize,
+        kind: IoKind,
+        tag: u64,
+    ) -> IoId {
+        assert!(node < self.disks.len(), "unknown node {node}");
+        self.clock = self.clock.max(now);
+        self.enqueue_fg(now, node, bytes, kind, tag)
+    }
+
+    fn pick_disk(&mut self, node: usize) -> usize {
+        let k = self.rr[node] % self.disks[node].len();
+        self.rr[node] += 1;
+        k
+    }
+
+    fn enqueue_fg(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        bytes: ByteSize,
+        kind: IoKind,
+        tag: u64,
+    ) -> IoId {
+        let k = self.pick_disk(node);
+        let disk = &mut self.disks[node][k];
+        let bw = match kind {
+            IoKind::Read => {
+                disk.bytes_read += bytes.as_bytes();
+                disk.spec.read_bw
+            }
+            IoKind::Write => {
+                disk.bytes_written += bytes.as_bytes();
+                disk.spec.write_bw
+            }
+        };
+        let service =
+            SimDuration::from_secs_f64(disk.spec.seek_ms * 1e-3) + bw.time_for(bytes);
+        let id = self.next_id;
+        self.next_id += 1;
+        disk.fg.push_back(Request {
+            id,
+            service,
+            tag,
+            node,
+            writeback_bytes: 0,
+        });
+        disk.start_next(now);
+        IoId(id)
+    }
+
+    fn enqueue_writeback(&mut self, now: SimTime, node: usize, bytes: u64) {
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let chunk = remaining.min(WRITEBACK_CHUNK);
+            remaining -= chunk;
+            let k = self.pick_disk(node);
+            let disk = &mut self.disks[node][k];
+            disk.bytes_written += chunk;
+            let service = SimDuration::from_secs_f64(disk.spec.seek_ms * 1e-3)
+                + disk.spec.write_bw.time_for(ByteSize::from_bytes(chunk));
+            let id = self.next_id;
+            self.next_id += 1;
+            disk.bg.push_back(Request {
+                id,
+                service,
+                tag: 0,
+                node,
+                writeback_bytes: chunk,
+            });
+            disk.start_next(now);
+        }
+    }
+
+    fn lane_completion(&mut self, now: SimTime, node: usize, bytes: u64, tag: u64) -> IoId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let done = now
+            + SimDuration::from_secs_f64(bytes as f64 / MEMCPY_BYTES_PER_SEC);
+        let entry = (done, id, IoCompletion { id: IoId(id), node, tag });
+        let pos = self
+            .cache_lane
+            .iter()
+            .position(|(t, i, _)| (*t, *i) > (done, id))
+            .unwrap_or(self.cache_lane.len());
+        self.cache_lane.insert(pos, entry);
+        IoId(id)
+    }
+
+    /// Submit I/O that targets recently written local data (spills,
+    /// merges): it goes through the page-cache model when enabled, and
+    /// falls back to raw disk otherwise.
+    pub fn submit_cached(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        bytes: ByteSize,
+        kind: IoKind,
+        tag: u64,
+    ) -> IoId {
+        assert!(node < self.disks.len(), "unknown node {node}");
+        self.clock = self.clock.max(now);
+        if self.caches[node].is_none() {
+            return self.submit(now, node, bytes, kind, tag);
+        }
+        let b = bytes.as_bytes();
+        match kind {
+            IoKind::Write => {
+                let cache = self.caches[node].as_mut().expect("checked above");
+                cache.resident =
+                    (cache.resident + b as f64).min(cache.resident_budget);
+                let headroom = (cache.dirty_budget - cache.dirty).max(0.0) as u64;
+                let fast = b.min(headroom);
+                let throttled = b - fast;
+                cache.dirty += fast as f64;
+                if fast > 0 {
+                    self.enqueue_writeback(now, node, fast);
+                }
+                if throttled > 0 {
+                    // The writer stalls for the over-budget portion, like
+                    // balance_dirty_pages().
+                    self.enqueue_fg(now, node, ByteSize::from_bytes(throttled), kind, tag)
+                } else {
+                    self.lane_completion(now, node, b, tag)
+                }
+            }
+            IoKind::Read => {
+                let cache = self.caches[node].as_ref().expect("checked above");
+                if cache.resident >= b as f64 {
+                    self.lane_completion(now, node, b, tag)
+                } else {
+                    self.enqueue_fg(now, node, bytes, kind, tag)
+                }
+            }
+        }
+    }
+
+    /// A transient file (spill) on `node` was deleted: cancel up to
+    /// `bytes` of its still-queued background write-back — the kernel
+    /// drops dirty pages of deleted files without ever writing them.
+    /// Returns the bytes actually cancelled.
+    pub fn discard_writeback(&mut self, node: usize, bytes: ByteSize) -> u64 {
+        let mut remaining = bytes.as_bytes();
+        let mut cancelled = 0u64;
+        for disk in &mut self.disks[node] {
+            if remaining == 0 {
+                break;
+            }
+            // Cancel from the tail so the youngest write-backs die first;
+            // the in-service request is never touched.
+            while remaining > 0 {
+                let Some(req) = disk.bg.back() else { break };
+                if req.writeback_bytes > remaining {
+                    break;
+                }
+                let req = disk.bg.pop_back().expect("checked back");
+                disk.bytes_written -= req.writeback_bytes;
+                remaining -= req.writeback_bytes;
+                cancelled += req.writeback_bytes;
+            }
+        }
+        if let Some(cache) = &mut self.caches[node] {
+            cache.dirty = (cache.dirty - cancelled as f64).max(0.0);
+        }
+        cancelled
+    }
+
+    /// The earliest I/O completion across all disks and the cache lane.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let disk = self
+            .disks
+            .iter()
+            .flatten()
+            .filter_map(|d| d.in_service.as_ref().map(|(_, t)| *t))
+            .min();
+        let lane = self.cache_lane.front().map(|(t, _, _)| *t);
+        match (disk, lane) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Advance to `now`, returning completions (deterministic id order).
+    pub fn advance_to(&mut self, now: SimTime) -> Vec<IoCompletion> {
+        assert!(now >= self.clock, "disk clock cannot run backwards");
+        self.clock = now;
+        let mut out = Vec::new();
+        while let Some((t, id, c)) = self.cache_lane.front().copied() {
+            if t > now {
+                break;
+            }
+            self.cache_lane.pop_front();
+            out.push((id, c));
+        }
+        for (node, node_disks) in self.disks.iter_mut().enumerate() {
+            for disk in node_disks {
+                while let Some((req, done_at)) = disk.in_service.take() {
+                    if done_at > now {
+                        disk.in_service = Some((req, done_at));
+                        break;
+                    }
+                    if req.writeback_bytes > 0 {
+                        if let Some(cache) = &mut self.caches[node] {
+                            cache.dirty =
+                                (cache.dirty - req.writeback_bytes as f64).max(0.0);
+                        }
+                    } else {
+                        out.push((
+                            req.id,
+                            IoCompletion {
+                                id: IoId(req.id),
+                                node: req.node,
+                                tag: req.tag,
+                            },
+                        ));
+                    }
+                    // Serve the next request (foreground first) from the
+                    // instant this one finished.
+                    if let Some(next) =
+                        disk.fg.pop_front().or_else(|| disk.bg.pop_front())
+                    {
+                        let next_done = done_at + next.service;
+                        disk.in_service = Some((next, next_done));
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Total bytes read on `node` so far.
+    pub fn bytes_read(&self, node: usize) -> u64 {
+        self.disks[node].iter().map(|d| d.bytes_read).sum()
+    }
+
+    /// Total bytes written on `node` so far (including background
+    /// write-back that has been queued and not cancelled).
+    pub fn bytes_written(&self, node: usize) -> u64 {
+        self.disks[node].iter().map(|d| d.bytes_written).sum()
+    }
+
+    /// Outstanding requests on `node` (foreground + background + one in
+    /// service per busy disk).
+    pub fn queue_depth(&self, node: usize) -> usize {
+        self.disks[node]
+            .iter()
+            .map(|d| d.fg.len() + d.bg.len() + usize::from(d.in_service.is_some()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(bw_mb: f64, seek_ms: f64) -> DiskSpec {
+        DiskSpec {
+            read_bw: simcore::units::Rate::from_mb_per_sec(bw_mb),
+            write_bw: simcore::units::Rate::from_mb_per_sec(bw_mb),
+            seek_ms,
+        }
+    }
+
+    fn drain(d: &mut DiskSim) -> Vec<IoCompletion> {
+        let mut all = Vec::new();
+        while let Some(t) = d.next_event_time() {
+            all.extend(d.advance_to(t));
+        }
+        all
+    }
+
+    #[test]
+    fn single_write_costs_seek_plus_transfer() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 10.0));
+        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
+        let t = d.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 1.01).abs() < 1e-6, "{t:?}");
+        let done = d.advance_to(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+        assert!(d.next_event_time().is_none());
+    }
+
+    #[test]
+    fn fifo_serializes_requests() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
+        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
+        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 2);
+        let t1 = d.next_event_time().unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(d.advance_to(t1)[0].tag, 1);
+        let t2 = d.next_event_time().unwrap();
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert_eq!(d.advance_to(t2)[0].tag, 2);
+    }
+
+    #[test]
+    fn round_robin_striping_uses_both_disks() {
+        let mut d = DiskSim::homogeneous(1, 2, spec(100.0, 0.0));
+        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
+        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 2);
+        // Parallel service on two spindles: both done at t=1.
+        let t = d.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(d.advance_to(t).len(), 2);
+    }
+
+    #[test]
+    fn read_and_write_bandwidths_differ() {
+        let s = DiskSpec {
+            read_bw: simcore::units::Rate::from_mb_per_sec(200.0),
+            write_bw: simcore::units::Rate::from_mb_per_sec(100.0),
+            seek_ms: 0.0,
+        };
+        let mut d = DiskSim::homogeneous(1, 1, s);
+        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Read, 1);
+        let t = d.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 0.5).abs() < 1e-6);
+        d.advance_to(t);
+        assert_eq!(d.bytes_read(0), 100_000_000);
+        assert_eq!(d.bytes_written(0), 0);
+    }
+
+    #[test]
+    fn idle_disk_starts_service_at_submit_time() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
+        d.submit(SimTime::from_secs(10), 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
+        let t = d.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queue_depth_tracks_outstanding() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
+        for i in 0..3 {
+            d.submit(SimTime::ZERO, 0, ByteSize::from_mib(10), IoKind::Write, i);
+        }
+        assert_eq!(d.queue_depth(0), 3);
+        let t = d.next_event_time().unwrap();
+        d.advance_to(t);
+        assert_eq!(d.queue_depth(0), 2);
+    }
+
+    #[test]
+    fn cached_write_completes_at_memory_speed() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 5.0));
+        d.enable_page_cache(ByteSize::from_gib(24));
+        d.submit_cached(SimTime::ZERO, 0, ByteSize::from_mib(100), IoKind::Write, 7);
+        // External completion long before the 1 s the spindle would take.
+        let t = d.next_event_time().unwrap();
+        assert!(t.as_secs_f64() < 0.05, "cache-lane completion at {t:?}");
+        let done = d.advance_to(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 7);
+        // Write-back still occupies the spindle afterwards.
+        assert!(d.next_event_time().is_some());
+        let rest = drain(&mut d);
+        assert!(rest.is_empty(), "write-back emits no external completions");
+        assert_eq!(d.bytes_written(0), 100 << 20);
+    }
+
+    #[test]
+    fn over_budget_write_is_throttled_to_disk() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
+        // 1 GiB memory -> 0.2 GiB dirty budget.
+        d.enable_page_cache(ByteSize::from_gib(1));
+        d.submit_cached(SimTime::ZERO, 0, ByteSize::from_mib(1024), IoKind::Write, 1);
+        // 204.8 MiB fast, ~819 MiB throttled at 100 MB/s ≈ 8.6 s.
+        let mut last = SimTime::ZERO;
+        let mut got = Vec::new();
+        while let Some(t) = d.next_event_time() {
+            got.extend(d.advance_to(t));
+            last = t;
+        }
+        assert_eq!(got.len(), 1);
+        assert!(
+            last.as_secs_f64() > 8.0,
+            "throttled portion must hit the spindle: {last:?}"
+        );
+    }
+
+    #[test]
+    fn foreground_reads_preempt_queued_writeback() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
+        d.enable_page_cache(ByteSize::from_gib(24));
+        // Queue 1 GiB of write-back...
+        d.submit_cached(SimTime::ZERO, 0, ByteSize::from_gib(1), IoKind::Write, 1);
+        // ...then issue an uncached foreground read.
+        d.submit(SimTime::ZERO, 0, ByteSize::from_mib(64), IoKind::Read, 2);
+        // The read only waits for the single in-service write-back chunk
+        // (64 MiB), not the full gigabyte.
+        let mut read_done = None;
+        while let Some(t) = d.next_event_time() {
+            for c in d.advance_to(t) {
+                if c.tag == 2 {
+                    read_done = Some(t);
+                }
+            }
+            if read_done.is_some() {
+                break;
+            }
+        }
+        let t = read_done.expect("read completed").as_secs_f64();
+        assert!(t < 2.0, "read stuck behind write-back: {t}");
+    }
+
+    #[test]
+    fn cached_read_hits_after_writes() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 5.0));
+        d.enable_page_cache(ByteSize::from_gib(24));
+        d.submit_cached(SimTime::ZERO, 0, ByteSize::from_mib(256), IoKind::Write, 1);
+        d.submit_cached(SimTime::ZERO, 0, ByteSize::from_mib(128), IoKind::Read, 2);
+        let done = d.advance_to(d.next_event_time().unwrap());
+        // Both the cached write and the cached read complete at memcpy
+        // speed, write first (smaller id at equal-ish times? read is
+        // smaller, completes earlier) — just check both are near-instant.
+        assert!(!done.is_empty());
+        let mut seen = done;
+        while let Some(t) = d.next_event_time() {
+            if t.as_secs_f64() > 0.5 {
+                break;
+            }
+            seen.extend(d.advance_to(t));
+        }
+        assert!(seen.iter().any(|c| c.tag == 2), "read served from cache");
+    }
+
+    #[test]
+    fn discard_cancels_pending_writeback() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
+        d.enable_page_cache(ByteSize::from_gib(24));
+        d.submit_cached(SimTime::ZERO, 0, ByteSize::from_gib(1), IoKind::Write, 1);
+        let before = d.bytes_written(0);
+        assert_eq!(before, 1 << 30);
+        // Delete the file: all but the in-service chunk is cancelled.
+        let cancelled = d.discard_writeback(0, ByteSize::from_gib(1));
+        assert!(cancelled >= (1 << 30) - 2 * WRITEBACK_CHUNK, "cancelled {cancelled}");
+        // Spindle drains quickly now.
+        let mut last = SimTime::ZERO;
+        while let Some(t) = d.next_event_time() {
+            d.advance_to(t);
+            last = t;
+        }
+        assert!(last.as_secs_f64() < 2.0, "drained at {last:?}");
+    }
+
+    #[test]
+    fn uncached_nodes_behave_like_raw_disk() {
+        let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
+        // No enable_page_cache.
+        d.submit_cached(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
+        let t = d.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,84 @@
+//! `dstat`-style per-node CPU utilization sampling.
+//!
+//! Pairs with `simnet::NetworkMonitor` to reproduce the paper's Fig. 7:
+//! CPU % and network MB/s on one slave node, one sample per second.
+
+use simcore::stats::TimeSeries;
+use simcore::time::{SimDuration, SimTime};
+
+use crate::cpu::CpuSim;
+
+/// Samples per-node CPU utilization at a fixed interval.
+pub struct CpuMonitor {
+    interval: SimDuration,
+    next_sample: SimTime,
+    series: Vec<TimeSeries>,
+}
+
+impl CpuMonitor {
+    /// Monitor `n_nodes`, sampling every `interval`.
+    pub fn new(n_nodes: usize, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        CpuMonitor {
+            interval,
+            next_sample: SimTime::ZERO + interval,
+            series: (0..n_nodes).map(|_| TimeSeries::new()).collect(),
+        }
+    }
+
+    /// When the next sample is due.
+    pub fn next_sample_time(&self) -> SimTime {
+        self.next_sample
+    }
+
+    /// Take any samples due at or before `now`. `cpu` must already be
+    /// advanced to `now`.
+    pub fn maybe_sample(&mut self, now: SimTime, cpu: &mut CpuSim) {
+        while self.next_sample <= now {
+            let at = self.next_sample;
+            let dt = self.interval.as_secs_f64();
+            for node in 0..self.series.len() {
+                let core_s = cpu.drain_busy_core_seconds(node, at);
+                let pct = core_s / dt / cpu.cores(node) as f64 * 100.0;
+                self.series[node].push(at, pct);
+            }
+            self.next_sample += self.interval;
+        }
+    }
+
+    /// CPU % series for `node`.
+    pub fn series(&self, node: usize) -> &TimeSeries {
+        &self.series[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_average_utilization_over_interval() {
+        let mut cpu = CpuSim::homogeneous(1, 4, 1.0);
+        let mut mon = CpuMonitor::new(1, SimDuration::from_secs(1));
+        // Two jobs of 2 core-seconds each: 2 busy cores for 2 s, then idle.
+        cpu.submit(SimTime::ZERO, 0, 2.0, 0);
+        cpu.submit(SimTime::ZERO, 0, 2.0, 1);
+        for _ in 0..4 {
+            let next = mon.next_sample_time();
+            while let Some(t) = cpu.next_event_time() {
+                if t > next {
+                    break;
+                }
+                cpu.advance_to(t);
+            }
+            cpu.advance_to(next);
+            mon.maybe_sample(next, &mut cpu);
+        }
+        let s = mon.series(0);
+        assert_eq!(s.len(), 4);
+        assert!((s.samples()[0].value - 50.0).abs() < 1e-6, "{s:?}");
+        assert!((s.samples()[1].value - 50.0).abs() < 1e-6);
+        assert!(s.samples()[2].value < 1.0);
+        assert!(s.samples()[3].value < 1.0);
+    }
+}

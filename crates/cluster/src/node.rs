@@ -1,0 +1,95 @@
+//! Hardware description of a cluster node.
+
+use simcore::units::{ByteSize, Rate};
+
+/// A spinning-disk model: sequential bandwidth plus a per-request
+/// positioning cost.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskSpec {
+    /// Sequential read bandwidth.
+    pub read_bw: Rate,
+    /// Sequential write bandwidth.
+    pub write_bw: Rate,
+    /// Average positioning (seek + rotational) delay charged per request.
+    pub seek_ms: f64,
+}
+
+impl DiskSpec {
+    /// A ~7200 rpm SATA HDD of the 2012-2014 era, as in both testbeds.
+    pub fn hdd() -> Self {
+        DiskSpec {
+            read_bw: Rate::from_mb_per_sec(130.0),
+            write_bw: Rate::from_mb_per_sec(115.0),
+            seek_ms: 8.0,
+        }
+    }
+}
+
+/// Per-node hardware: CPU, memory, and local disks.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Human-readable model name.
+    pub name: &'static str,
+    /// Number of physical cores.
+    pub cores: u32,
+    /// Relative single-core speed factor (1.0 = the Westmere baseline of
+    /// Cluster A); scales every CPU cost.
+    pub speed: f64,
+    /// Installed memory.
+    pub memory: ByteSize,
+    /// Local disks available for intermediate data (`mapred.local.dir`).
+    pub disks: Vec<DiskSpec>,
+}
+
+impl NodeSpec {
+    /// Cluster A slave: Intel Westmere, dual quad-core Xeon at 2.67 GHz,
+    /// 24 GB RAM, two 1 TB HDDs.
+    pub fn westmere() -> Self {
+        NodeSpec {
+            name: "Intel Westmere (2x quad-core Xeon 2.67GHz)",
+            cores: 8,
+            speed: 1.0,
+            memory: ByteSize::from_gib(24),
+            disks: vec![DiskSpec::hdd(), DiskSpec::hdd()],
+        }
+    }
+
+    /// Cluster B (TACC Stampede) node: dual octa-core Sandy Bridge E5-2680
+    /// at 2.7 GHz, 32 GB RAM, one 80 GB HDD.
+    pub fn stampede() -> Self {
+        NodeSpec {
+            name: "Intel Sandy Bridge E5-2680 (2x octa-core 2.7GHz)",
+            cores: 16,
+            // Sandy Bridge is roughly 20% faster per clock than Westmere.
+            speed: 1.2,
+            memory: ByteSize::from_gib(32),
+            disks: vec![DiskSpec::hdd()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_hardware() {
+        let a = NodeSpec::westmere();
+        assert_eq!(a.cores, 8);
+        assert_eq!(a.memory, ByteSize::from_gib(24));
+        assert_eq!(a.disks.len(), 2);
+
+        let b = NodeSpec::stampede();
+        assert_eq!(b.cores, 16);
+        assert_eq!(b.memory, ByteSize::from_gib(32));
+        assert_eq!(b.disks.len(), 1);
+        assert!(b.speed > a.speed);
+    }
+
+    #[test]
+    fn hdd_is_plausible() {
+        let d = DiskSpec::hdd();
+        assert!(d.read_bw.as_mb_per_sec() > d.write_bw.as_mb_per_sec());
+        assert!(d.seek_ms > 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the CPU and disk simulators.
+
+use proptest::prelude::*;
+use cluster::{CpuSim, DiskSim, DiskSpec, IoKind};
+use simcore::time::SimTime;
+use simcore::units::{ByteSize, Rate};
+
+fn drain_cpu(cpu: &mut CpuSim) -> (usize, SimTime) {
+    let mut n = 0;
+    let mut last = SimTime::ZERO;
+    while let Some(t) = cpu.next_event_time() {
+        let done = cpu.advance_to(t);
+        n += done.len();
+        last = t;
+    }
+    (n, last)
+}
+
+proptest! {
+    /// Every submitted CPU job eventually completes, and total busy time
+    /// equals total work (no work lost or invented).
+    #[test]
+    fn cpu_conserves_work(work in proptest::collection::vec(0.01f64..5.0, 1..20), cores in 1u32..16) {
+        let mut cpu = CpuSim::homogeneous(1, cores, 1.0);
+        let total: f64 = work.iter().sum();
+        for (i, w) in work.iter().enumerate() {
+            cpu.submit(SimTime::ZERO, 0, *w, i as u64);
+        }
+        let (n, last) = drain_cpu(&mut cpu);
+        prop_assert_eq!(n, work.len());
+        let busy = cpu.drain_busy_core_seconds(0, last);
+        prop_assert!((busy - total).abs() < 1e-3 * total.max(1.0),
+            "busy {} vs total {}", busy, total);
+    }
+
+    /// Makespan is bounded below by max(total/cores, longest job) and
+    /// above by a small slack over the PS optimum.
+    #[test]
+    fn cpu_makespan_bounds(work in proptest::collection::vec(0.01f64..5.0, 1..20), cores in 1u32..8) {
+        let mut cpu = CpuSim::homogeneous(1, cores, 1.0);
+        let total: f64 = work.iter().sum();
+        let longest = work.iter().cloned().fold(0.0, f64::max);
+        for (i, w) in work.iter().enumerate() {
+            cpu.submit(SimTime::ZERO, 0, *w, i as u64);
+        }
+        let (_, last) = drain_cpu(&mut cpu);
+        let makespan = last.as_secs_f64();
+        let lower = (total / cores as f64).max(longest);
+        prop_assert!(makespan >= lower - 1e-6, "makespan {} < lower {}", makespan, lower);
+        // PS never does worse than fully serial execution.
+        prop_assert!(makespan <= total + 1e-6, "makespan {} > serial {}", makespan, total);
+    }
+
+    /// Disk completions preserve FIFO order per node with one disk.
+    #[test]
+    fn disk_fifo_order(sizes in proptest::collection::vec(1u64..64, 1..20)) {
+        let mut d = DiskSim::homogeneous(1, 1, DiskSpec::hdd());
+        for (i, s) in sizes.iter().enumerate() {
+            d.submit(SimTime::ZERO, 0, ByteSize::from_mib(*s), IoKind::Write, i as u64);
+        }
+        let mut seen = Vec::new();
+        while let Some(t) = d.next_event_time() {
+            for c in d.advance_to(t) {
+                seen.push(c.tag);
+            }
+        }
+        let expect: Vec<u64> = (0..sizes.len() as u64).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Total disk service time equals the sum of per-request services.
+    #[test]
+    fn disk_busy_time_additive(sizes in proptest::collection::vec(1u64..64, 1..12), bw in 50.0f64..300.0) {
+        let spec = DiskSpec {
+            read_bw: Rate::from_mb_per_sec(bw),
+            write_bw: Rate::from_mb_per_sec(bw),
+            seek_ms: 5.0,
+        };
+        let mut d = DiskSim::homogeneous(1, 1, spec);
+        let mut expect = 0.0;
+        for (i, s) in sizes.iter().enumerate() {
+            let bytes = ByteSize::from_mib(*s);
+            expect += 5e-3 + bytes.as_bytes() as f64 / (bw * 1e6);
+            d.submit(SimTime::ZERO, 0, bytes, IoKind::Write, i as u64);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(t) = d.next_event_time() {
+            d.advance_to(t);
+            last = t;
+        }
+        prop_assert!((last.as_secs_f64() - expect).abs() < 1e-6 * expect.max(1.0),
+            "makespan {} vs expected {}", last.as_secs_f64(), expect);
+    }
+}

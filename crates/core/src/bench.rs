@@ -1,0 +1,102 @@
+//! The three micro-benchmarks (paper Sect. 4.2).
+
+use mapreduce::job::PartitionerFactory;
+
+use crate::partitioners::{AvgFactory, RandFactory, SkewFactory, ZipfFactory};
+
+/// The intermediate-data-distribution micro-benchmarks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MicroBenchmark {
+    /// MR-AVG: uniform (round-robin) distribution.
+    Avg,
+    /// MR-RAND: pseudo-random distribution via `java.util.Random`.
+    Rand,
+    /// MR-SKEW: fixed 50 % / 25 % / 12.5 % / random skew.
+    Skew,
+    /// MR-ZIPF (extension): Zipf-distributed keys — the "real-world
+    /// workloads" direction of the paper's future-work section. The
+    /// exponent comes from [`crate::BenchConfig::zipf_exponent`].
+    Zipf,
+}
+
+impl MicroBenchmark {
+    /// The paper's three benchmarks, in presentation order.
+    pub const ALL: [MicroBenchmark; 3] =
+        [MicroBenchmark::Avg, MicroBenchmark::Rand, MicroBenchmark::Skew];
+
+    /// The paper's three plus this suite's extensions.
+    pub const EXTENDED: [MicroBenchmark; 4] = [
+        MicroBenchmark::Avg,
+        MicroBenchmark::Rand,
+        MicroBenchmark::Skew,
+        MicroBenchmark::Zipf,
+    ];
+
+    /// The paper's name for this benchmark.
+    pub fn label(self) -> &'static str {
+        match self {
+            MicroBenchmark::Avg => "MR-AVG",
+            MicroBenchmark::Rand => "MR-RAND",
+            MicroBenchmark::Skew => "MR-SKEW",
+            MicroBenchmark::Zipf => "MR-ZIPF",
+        }
+    }
+
+    /// The partitioner factory implementing this distribution. MR-ZIPF
+    /// takes its exponent here (configs pass
+    /// [`crate::BenchConfig::zipf_exponent`]).
+    pub fn factory_with(self, zipf_exponent: f64) -> Box<dyn PartitionerFactory> {
+        match self {
+            MicroBenchmark::Avg => Box::new(AvgFactory),
+            MicroBenchmark::Rand => Box::new(RandFactory),
+            MicroBenchmark::Skew => Box::new(SkewFactory),
+            MicroBenchmark::Zipf => Box::new(ZipfFactory::new(zipf_exponent)),
+        }
+    }
+
+    /// The partitioner factory with the default Zipf exponent (1.0).
+    pub fn factory(self) -> Box<dyn PartitionerFactory> {
+        self.factory_with(1.0)
+    }
+}
+
+impl std::fmt::Display for MicroBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for MicroBenchmark {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().replace('_', "-").as_str() {
+            "MR-AVG" | "AVG" => Ok(MicroBenchmark::Avg),
+            "MR-RAND" | "RAND" | "MR-RANDOM" | "RANDOM" => Ok(MicroBenchmark::Rand),
+            "MR-SKEW" | "SKEW" => Ok(MicroBenchmark::Skew),
+            "MR-ZIPF" | "ZIPF" => Ok(MicroBenchmark::Zipf),
+            other => Err(format!("unknown micro-benchmark: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_parsing() {
+        assert_eq!(MicroBenchmark::Avg.label(), "MR-AVG");
+        assert_eq!("mr-rand".parse::<MicroBenchmark>().unwrap(), MicroBenchmark::Rand);
+        assert_eq!("SKEW".parse::<MicroBenchmark>().unwrap(), MicroBenchmark::Skew);
+        assert_eq!("MR_AVG".parse::<MicroBenchmark>().unwrap(), MicroBenchmark::Avg);
+        assert!("sort".parse::<MicroBenchmark>().is_err());
+    }
+
+    #[test]
+    fn factories_match_benchmarks() {
+        for b in MicroBenchmark::EXTENDED {
+            assert_eq!(b.factory().name(), b.label());
+        }
+        assert_eq!("zipf".parse::<MicroBenchmark>().unwrap(), MicroBenchmark::Zipf);
+    }
+}

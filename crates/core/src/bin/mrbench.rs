@@ -1,0 +1,91 @@
+//! `mrbench` — the micro-benchmark suite's command-line front end.
+//!
+//! Run `mrbench --help` for the options; parsing lives in
+//! [`mrbench::cli`] so it is unit-tested with the library.
+
+use std::process::ExitCode;
+
+use mrbench::cli::{parse_args, USAGE};
+use mrbench::{run, Interconnect, ShuffleEngineKind, ShuffleVolume, Sweep};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    if cli.compare {
+        let spec = cli.config.job_spec();
+        let shuffle = spec.total_shuffle_bytes();
+        let sweep = match Sweep::run_grid(&[shuffle], &Interconnect::ALL, |_, ic| {
+            let mut c = cli.config.clone();
+            c.interconnect = ic;
+            c.shuffle_engine = if ic == Interconnect::RdmaFdr {
+                ShuffleEngineKind::Rdma
+            } else {
+                ShuffleEngineKind::Tcp
+            };
+            c.volume = ShuffleVolume::PairsPerMap(spec.pairs_per_map);
+            c
+        }) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!(
+            "{}",
+            sweep.table(&format!(
+                "{} — {} maps / {} reduces on {} slaves",
+                cli.config.benchmark,
+                cli.config.num_maps,
+                cli.config.num_reduces,
+                cli.config.slaves
+            ))
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match run(&cli.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{report}");
+    if cli.timeline {
+        println!();
+        println!("task timeline:");
+        println!(
+            "{:>10} {:>6} {:>6} {:>10} {:>10} {:>10}",
+            "task", "index", "node", "start (s)", "finish (s)", "elapsed"
+        );
+        let mut tasks = report.result.tasks.clone();
+        tasks.sort_by_key(|t| (t.start, !t.is_map, t.index));
+        for t in tasks {
+            println!(
+                "{:>10} {:>6} {:>6} {:>10.2} {:>10.2} {:>9.2}s",
+                if t.is_map { "map" } else { "reduce" },
+                t.index,
+                t.node,
+                t.start.as_secs_f64(),
+                t.finish.as_secs_f64(),
+                t.elapsed().as_secs_f64(),
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

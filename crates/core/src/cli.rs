@@ -1,0 +1,231 @@
+//! Command-line parsing for the `mrbench` binary.
+//!
+//! Hand-rolled (the workspace keeps its dependency set to the approved
+//! list), but with real error messages and full coverage of the suite's
+//! knobs.
+
+use simcore::units::ByteSize;
+use simnet::Interconnect;
+
+use crate::config::{BenchConfig, ShuffleVolume};
+use crate::{ClusterPreset, EngineKind, MicroBenchmark, ShuffleEngineKind};
+
+/// Parsed invocation.
+pub struct Cli {
+    /// The run configuration.
+    pub config: BenchConfig,
+    /// Run every interconnect and tabulate instead of one report.
+    pub compare: bool,
+    /// Print the per-task timeline after the report.
+    pub timeline: bool,
+}
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "\
+mrbench — micro-benchmark suite for stand-alone (simulated) Hadoop MapReduce
+
+USAGE:
+    mrbench [OPTIONS]
+
+OPTIONS:
+    --bench <avg|rand|skew|zipf>   micro-benchmark            [default: avg]
+    --network <net>                1gige | 10gige | ipoib-qdr | ipoib-fdr | rdma
+                                                              [default: ipoib-qdr]
+    --compare                      run every network and tabulate
+    --shuffle-gb <N>               total shuffle volume in GiB [default: 4]
+    --shuffle-mb <N>               total shuffle volume in MiB
+    --pairs <N>                    key/value pairs per map (overrides volume)
+    --key-size <BYTES>             key payload size           [default: 1024]
+    --value-size <BYTES>           value payload size         [default: 1024]
+    --data-type <bytes|text>       Writable type              [default: bytes]
+    --maps <N>                     map tasks                  [default: 16]
+    --reduces <N>                  reduce tasks               [default: 8]
+    --slaves <N>                   slave nodes                [default: 4]
+    --cluster <a|b>                testbed preset             [default: a]
+    --engine <mrv1|yarn>           runtime                    [default: mrv1]
+    --rdma-shuffle                 use the RDMA (MRoIB) shuffle engine
+    --zipf-exponent <S>            exponent for --bench zipf  [default: 1.0]
+    --seed <N>                     master seed
+    --timeline                     print the per-task timeline
+    -h, --help                     show this help
+";
+
+/// Parse `args` (without the program name). `Err("")` means "--help".
+pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut config = BenchConfig::cluster_a_default(
+        MicroBenchmark::Avg,
+        Interconnect::IpoibQdr,
+        ByteSize::from_gib(4),
+    );
+    let mut compare = false;
+    let mut timeline = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--bench" => config.benchmark = value("--bench")?.parse()?,
+            "--network" => {
+                config.interconnect = parse_network(value("--network")?)?;
+                if config.interconnect == Interconnect::RdmaFdr {
+                    config.shuffle_engine = ShuffleEngineKind::Rdma;
+                }
+            }
+            "--compare" => compare = true,
+            "--shuffle-gb" => {
+                let n: u64 = parse_num(value("--shuffle-gb")?)?;
+                config.volume = ShuffleVolume::TotalBytes(ByteSize::from_gib(n));
+            }
+            "--shuffle-mb" => {
+                let n: u64 = parse_num(value("--shuffle-mb")?)?;
+                config.volume = ShuffleVolume::TotalBytes(ByteSize::from_mib(n));
+            }
+            "--pairs" => {
+                config.volume = ShuffleVolume::PairsPerMap(parse_num(value("--pairs")?)?)
+            }
+            "--key-size" => config.key_size = parse_num(value("--key-size")?)? as usize,
+            "--value-size" => {
+                config.value_size = parse_num(value("--value-size")?)? as usize
+            }
+            "--data-type" => config.data_type = value("--data-type")?.parse()?,
+            "--maps" => config.num_maps = parse_num(value("--maps")?)? as u32,
+            "--reduces" => config.num_reduces = parse_num(value("--reduces")?)? as u32,
+            "--slaves" => config.slaves = parse_num(value("--slaves")?)? as usize,
+            "--cluster" => {
+                config.cluster = match value("--cluster")?.to_ascii_lowercase().as_str() {
+                    "a" => ClusterPreset::ClusterA,
+                    "b" => ClusterPreset::ClusterB,
+                    other => return Err(format!("unknown cluster: {other}")),
+                }
+            }
+            "--engine" => {
+                config.engine = match value("--engine")?.to_ascii_lowercase().as_str() {
+                    "mrv1" | "1" | "hadoop1" => EngineKind::MRv1,
+                    "yarn" | "2" | "hadoop2" => EngineKind::Yarn,
+                    other => return Err(format!("unknown engine: {other}")),
+                }
+            }
+            "--rdma-shuffle" => config.shuffle_engine = ShuffleEngineKind::Rdma,
+            "--zipf-exponent" => {
+                config.zipf_exponent = value("--zipf-exponent")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad exponent: {e}"))?
+            }
+            "--seed" => config.seed = parse_num(value("--seed")?)?,
+            "--timeline" => timeline = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(Cli {
+        config,
+        compare,
+        timeline,
+    })
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.replace('_', "")
+        .parse::<u64>()
+        .map_err(|e| format!("bad number '{s}': {e}"))
+}
+
+/// Parse an interconnect name as the CLI spells them.
+pub fn parse_network(s: &str) -> Result<Interconnect, String> {
+    match s.to_ascii_lowercase().replace('_', "-").as_str() {
+        "1gige" | "gige" | "1g" => Ok(Interconnect::GigE1),
+        "10gige" | "10g" => Ok(Interconnect::GigE10),
+        "ipoib-qdr" | "ipoib" | "qdr" => Ok(Interconnect::IpoibQdr),
+        "ipoib-fdr" | "fdr" => Ok(Interconnect::IpoibFdr),
+        "rdma" | "rdma-fdr" | "ib" => Ok(Interconnect::RdmaFdr),
+        other => Err(format!("unknown network: {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::io::DataType;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.config.benchmark, MicroBenchmark::Avg);
+        assert_eq!(cli.config.interconnect, Interconnect::IpoibQdr);
+        assert!(!cli.compare);
+        assert!(!cli.timeline);
+        cli.config.validate().unwrap();
+    }
+
+    #[test]
+    fn full_invocation() {
+        let cli = parse(&[
+            "--bench", "zipf",
+            "--network", "10gige",
+            "--shuffle-mb", "512",
+            "--key-size", "100",
+            "--value-size", "900",
+            "--data-type", "text",
+            "--maps", "8",
+            "--reduces", "4",
+            "--slaves", "2",
+            "--engine", "yarn",
+            "--zipf-exponent", "1.3",
+            "--seed", "7",
+            "--timeline",
+        ])
+        .unwrap();
+        let c = &cli.config;
+        assert_eq!(c.benchmark, MicroBenchmark::Zipf);
+        assert_eq!(c.interconnect, Interconnect::GigE10);
+        assert_eq!(c.key_size, 100);
+        assert_eq!(c.value_size, 900);
+        assert_eq!(c.data_type, DataType::Text);
+        assert_eq!(c.num_maps, 8);
+        assert_eq!(c.num_reduces, 4);
+        assert_eq!(c.slaves, 2);
+        assert_eq!(c.engine, EngineKind::Yarn);
+        assert_eq!(c.zipf_exponent, 1.3);
+        assert_eq!(c.seed, 7);
+        assert!(cli.timeline);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rdma_network_implies_rdma_shuffle() {
+        let cli = parse(&["--network", "rdma"]).unwrap();
+        assert_eq!(cli.config.interconnect, Interconnect::RdmaFdr);
+        assert_eq!(cli.config.shuffle_engine, ShuffleEngineKind::Rdma);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--bench", "sort"]).is_err());
+        assert!(parse(&["--network", "carrier-pigeon"]).is_err());
+        assert!(parse(&["--maps"]).is_err());
+        assert!(parse(&["--maps", "four"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        // Help is Err("") by convention.
+        assert_eq!(parse(&["--help"]).err(), Some(String::new()));
+    }
+
+    #[test]
+    fn pairs_overrides_volume() {
+        let cli = parse(&["--pairs", "1234"]).unwrap();
+        assert_eq!(cli.config.volume, ShuffleVolume::PairsPerMap(1234));
+    }
+
+    #[test]
+    fn network_aliases() {
+        assert_eq!(parse_network("1g").unwrap(), Interconnect::GigE1);
+        assert_eq!(parse_network("QDR").unwrap(), Interconnect::IpoibQdr);
+        assert_eq!(parse_network("ib").unwrap(), Interconnect::RdmaFdr);
+    }
+}

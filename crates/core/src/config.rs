@@ -1,0 +1,269 @@
+//! User-facing benchmark configuration (paper Sect. 4.1 "configurable
+//! parameters").
+//!
+//! A [`BenchConfig`] bundles every knob the suite exposes: the
+//! micro-benchmark (intermediate data distribution), key/value geometry,
+//! data type, task counts, cluster shape, interconnect, and engine. It
+//! converts to the engine's [`JobSpec`] via [`BenchConfig::job_spec`].
+
+use cluster::{ClusterPreset, NodeSpec};
+use mapreduce::conf::{EngineKind, JobConf, ShuffleEngineKind};
+use mapreduce::io::DataType;
+use mapreduce::job::JobSpec;
+use simcore::units::ByteSize;
+use simnet::Interconnect;
+
+use crate::bench::MicroBenchmark;
+
+/// How much intermediate data the job generates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShuffleVolume {
+    /// Explicit pairs per map task.
+    PairsPerMap(u64),
+    /// Target total shuffle size; pairs per map are derived.
+    TotalBytes(ByteSize),
+}
+
+/// Full description of one micro-benchmark run.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Which of the three micro-benchmarks to run.
+    pub benchmark: MicroBenchmark,
+    /// Key payload size in bytes.
+    pub key_size: usize,
+    /// Value payload size in bytes.
+    pub value_size: usize,
+    /// Intermediate data volume.
+    pub volume: ShuffleVolume,
+    /// Writable data type for keys and values.
+    pub data_type: DataType,
+    /// Number of map tasks.
+    pub num_maps: u32,
+    /// Number of reduce tasks.
+    pub num_reduces: u32,
+    /// Number of slave nodes.
+    pub slaves: usize,
+    /// Which testbed the slaves model.
+    pub cluster: ClusterPreset,
+    /// Network interconnect/protocol.
+    pub interconnect: Interconnect,
+    /// MRv1 or YARN.
+    pub engine: EngineKind,
+    /// Socket or RDMA (MRoIB) shuffle.
+    pub shuffle_engine: ShuffleEngineKind,
+    /// Master seed.
+    pub seed: u64,
+    /// Zipf exponent for the MR-ZIPF extension benchmark (ignored by the
+    /// paper's three benchmarks). 0 = uniform, 1 = classic Zipf.
+    pub zipf_exponent: f64,
+}
+
+impl BenchConfig {
+    /// The configuration the paper uses for most Cluster A experiments:
+    /// 16 maps / 8 reduces on 4 slaves, 1 KiB key/value pairs of
+    /// `BytesWritable`, over the given interconnect.
+    pub fn cluster_a_default(
+        benchmark: MicroBenchmark,
+        interconnect: Interconnect,
+        shuffle: ByteSize,
+    ) -> Self {
+        BenchConfig {
+            benchmark,
+            key_size: 1024,
+            value_size: 1024,
+            volume: ShuffleVolume::TotalBytes(shuffle),
+            data_type: DataType::BytesWritable,
+            num_maps: 16,
+            num_reduces: 8,
+            slaves: 4,
+            cluster: ClusterPreset::ClusterA,
+            interconnect,
+            engine: EngineKind::MRv1,
+            shuffle_engine: ShuffleEngineKind::Tcp,
+            seed: 0x5EED_2014,
+            zipf_exponent: 1.0,
+        }
+    }
+
+    /// The paper's YARN configuration (Fig. 3): 32 maps / 16 reduces on 8
+    /// slaves of Cluster A.
+    pub fn yarn_default(
+        benchmark: MicroBenchmark,
+        interconnect: Interconnect,
+        shuffle: ByteSize,
+    ) -> Self {
+        BenchConfig {
+            num_maps: 32,
+            num_reduces: 16,
+            slaves: 8,
+            engine: EngineKind::Yarn,
+            ..BenchConfig::cluster_a_default(benchmark, interconnect, shuffle)
+        }
+    }
+
+    /// The Sect. 6 case-study configuration on Cluster B (Stampede):
+    /// 32 maps / 16 reduces, IPoIB FDR or RDMA FDR.
+    pub fn cluster_b_case_study(
+        interconnect: Interconnect,
+        shuffle: ByteSize,
+        slaves: usize,
+    ) -> Self {
+        let shuffle_engine = if interconnect == Interconnect::RdmaFdr {
+            ShuffleEngineKind::Rdma
+        } else {
+            ShuffleEngineKind::Tcp
+        };
+        BenchConfig {
+            num_maps: 32,
+            num_reduces: 16,
+            slaves,
+            cluster: ClusterPreset::ClusterB,
+            engine: EngineKind::Yarn,
+            shuffle_engine,
+            ..BenchConfig::cluster_a_default(MicroBenchmark::Avg, interconnect, shuffle)
+        }
+    }
+
+    /// The node hardware for this config.
+    pub fn node_spec(&self) -> NodeSpec {
+        self.cluster.node_spec()
+    }
+
+    /// The partitioner factory for this config's benchmark.
+    pub fn factory(&self) -> Box<dyn mapreduce::job::PartitionerFactory> {
+        self.benchmark.factory_with(self.zipf_exponent)
+    }
+
+    /// Convert to the engine's job description.
+    ///
+    /// The suite ships the `mapred-site.xml` tuning the OSU testbeds used
+    /// for gigabyte-scale map outputs: `io.sort.mb = 256` (fewer spill
+    /// rounds) and 4 map / 2 reduce slots per TaskTracker so the paper's
+    /// 16-map runs complete in a single wave per node pair.
+    pub fn job_spec(&self) -> JobSpec {
+        let conf = JobConf {
+            num_maps: self.num_maps,
+            num_reduces: self.num_reduces,
+            io_sort_mb: ByteSize::from_mib(256),
+            map_slots_per_node: 4,
+            reduce_slots_per_node: 2,
+            engine: self.engine,
+            shuffle_engine: self.shuffle_engine,
+            seed: self.seed,
+            ..JobConf::default()
+        };
+        let mut spec = JobSpec {
+            conf,
+            key_size: self.key_size,
+            value_size: self.value_size,
+            pairs_per_map: 1,
+            data_type: self.data_type,
+            output_write_amplification: 0.0,
+        };
+        match self.volume {
+            ShuffleVolume::PairsPerMap(n) => spec.pairs_per_map = n,
+            ShuffleVolume::TotalBytes(total) => spec.set_shuffle_size(total),
+        }
+        spec
+    }
+
+    /// Total shuffle bytes this config will generate.
+    pub fn shuffle_bytes(&self) -> ByteSize {
+        self.job_spec().total_shuffle_bytes()
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.slaves == 0 {
+            return Err("need at least one slave".into());
+        }
+        if self.num_reduces < 3 && self.benchmark == MicroBenchmark::Skew {
+            // MR-SKEW's fixed pattern names three reducers.
+            return Err("MR-SKEW needs at least 3 reducers".into());
+        }
+        if self.benchmark == MicroBenchmark::Zipf
+            && !(self.zipf_exponent.is_finite() && self.zipf_exponent >= 0.0)
+        {
+            return Err("MR-ZIPF exponent must be finite and >= 0".into());
+        }
+        self.job_spec().validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_a_default_matches_paper() {
+        let c = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::IpoibQdr,
+            ByteSize::from_gib(16),
+        );
+        assert_eq!(c.num_maps, 16);
+        assert_eq!(c.num_reduces, 8);
+        assert_eq!(c.slaves, 4);
+        assert_eq!(c.key_size, 1024);
+        assert_eq!(c.data_type, DataType::BytesWritable);
+        c.validate().unwrap();
+        // Derived pairs hit the target volume within one record per map.
+        let total = c.shuffle_bytes().as_bytes() as f64;
+        let target = ByteSize::from_gib(16).as_bytes() as f64;
+        assert!((total - target).abs() / target < 0.001);
+    }
+
+    #[test]
+    fn yarn_default_matches_paper() {
+        let c = BenchConfig::yarn_default(
+            MicroBenchmark::Rand,
+            Interconnect::GigE10,
+            ByteSize::from_gib(16),
+        );
+        assert_eq!(c.num_maps, 32);
+        assert_eq!(c.num_reduces, 16);
+        assert_eq!(c.slaves, 8);
+        assert_eq!(c.engine, EngineKind::Yarn);
+    }
+
+    #[test]
+    fn case_study_uses_rdma_engine_only_for_rdma() {
+        let r = BenchConfig::cluster_b_case_study(
+            Interconnect::RdmaFdr,
+            ByteSize::from_gib(16),
+            8,
+        );
+        assert_eq!(r.shuffle_engine, ShuffleEngineKind::Rdma);
+        let i = BenchConfig::cluster_b_case_study(
+            Interconnect::IpoibFdr,
+            ByteSize::from_gib(16),
+            8,
+        );
+        assert_eq!(i.shuffle_engine, ShuffleEngineKind::Tcp);
+        assert_eq!(i.cluster, ClusterPreset::ClusterB);
+    }
+
+    #[test]
+    fn skew_needs_three_reducers() {
+        let mut c = BenchConfig::cluster_a_default(
+            MicroBenchmark::Skew,
+            Interconnect::GigE1,
+            ByteSize::from_gib(1),
+        );
+        c.num_reduces = 2;
+        assert!(c.validate().is_err());
+        c.num_reduces = 3;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn explicit_pairs_respected() {
+        let mut c = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_gib(1),
+        );
+        c.volume = ShuffleVolume::PairsPerMap(777);
+        assert_eq!(c.job_spec().pairs_per_map, 777);
+    }
+}

@@ -1,0 +1,61 @@
+//! # mrbench — a micro-benchmark suite for stand-alone Hadoop MapReduce
+//!
+//! A Rust reproduction of the micro-benchmark suite of Shankar, Lu,
+//! Rahman, Islam & Panda, *"A Micro-benchmark Suite for Evaluating Hadoop
+//! MapReduce on High-Performance Networks"* (BPOE 2014): three
+//! micro-benchmarks (**MR-AVG**, **MR-RAND**, **MR-SKEW**) that measure
+//! the job execution time of stand-alone MapReduce — no HDFS — under
+//! different intermediate data distributions, key/value geometries, data
+//! types, task counts, and network interconnects.
+//!
+//! Because no Hadoop cluster or InfiniBand fabric is available here, the
+//! suite runs over a faithful discrete-event simulation of the paper's
+//! two testbeds (see the `mapreduce`, `cluster`, and `simnet` crates);
+//! the data plane (Writable serialization, IFile framing, partitioners,
+//! `java.util.Random`) is real code, and only *time* is simulated.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mrbench::{BenchConfig, MicroBenchmark, run};
+//! use simcore::units::ByteSize;
+//! use simnet::Interconnect;
+//!
+//! let mut config = BenchConfig::cluster_a_default(
+//!     MicroBenchmark::Avg,
+//!     Interconnect::IpoibQdr,
+//!     ByteSize::from_mib(256),
+//! );
+//! config.slaves = 2;
+//! config.num_maps = 4;
+//! config.num_reduces = 4;
+//! let report = run(&config).expect("valid config");
+//! println!("{report}");
+//! assert!(report.job_time_secs() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bench;
+pub mod calib;
+pub mod cli;
+pub mod config;
+pub mod gen;
+pub mod partitioners;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use bench::MicroBenchmark;
+pub use config::{BenchConfig, ShuffleVolume};
+pub use gen::KvGenerator;
+pub use report::BenchReport;
+pub use runner::run;
+pub use sweep::Sweep;
+
+// Re-export the substrate names examples need.
+pub use cluster::ClusterPreset;
+pub use mapreduce::conf::{EngineKind, ShuffleEngineKind};
+pub use mapreduce::io::DataType;
+pub use simnet::Interconnect;

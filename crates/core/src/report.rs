@@ -1,0 +1,141 @@
+//! Benchmark output: configuration, job execution time, and resource
+//! utilization (paper Sect. 1: "We display the configuration parameters
+//! and resource utilization statistics for each test, along with the
+//! final job execution time, as the micro-benchmark output").
+
+use std::fmt;
+
+use mapreduce::job::JobResult;
+use simcore::stats::TimeSeries;
+
+use crate::config::BenchConfig;
+
+/// Everything one benchmark run produced.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// The configuration that was run.
+    pub config: BenchConfig,
+    /// The engine's full result.
+    pub result: JobResult,
+}
+
+impl BenchReport {
+    /// Job execution time in seconds — the headline metric.
+    pub fn job_time_secs(&self) -> f64 {
+        self.result.job_time_secs()
+    }
+
+    /// Peak CPU utilization (%) observed on any slave.
+    pub fn peak_cpu_pct(&self) -> f64 {
+        series_peak(&self.result.cpu_series)
+    }
+
+    /// Peak network receive throughput (MB/s) observed on any slave —
+    /// the quantity Fig. 7(b) plots.
+    pub fn peak_rx_mbps(&self) -> f64 {
+        series_peak(&self.result.net_rx_series)
+    }
+
+    /// CPU utilization series of one slave (Fig. 7(a) plots slave 0).
+    pub fn cpu_series(&self, node: usize) -> &TimeSeries {
+        &self.result.cpu_series[node]
+    }
+
+    /// Network receive series of one slave (Fig. 7(b)).
+    pub fn rx_series(&self, node: usize) -> &TimeSeries {
+        &self.result.net_rx_series[node]
+    }
+
+    /// Duration of the map phase in seconds.
+    pub fn map_phase_secs(&self) -> f64 {
+        self.result.map_phase_end.as_secs_f64()
+    }
+}
+
+fn series_peak(all: &[TimeSeries]) -> f64 {
+    all.iter()
+        .filter_map(|s| s.peak())
+        .fold(0.0f64, f64::max)
+}
+
+impl fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.config;
+        writeln!(f, "================ micro-benchmark report ================")?;
+        writeln!(f, "benchmark            {}", c.benchmark)?;
+        writeln!(f, "engine               {}", c.engine.label())?;
+        writeln!(
+            f,
+            "shuffle engine       {}",
+            match c.shuffle_engine {
+                mapreduce::conf::ShuffleEngineKind::Tcp => "sockets (HTTP fetch)",
+                mapreduce::conf::ShuffleEngineKind::Rdma => "RDMA (MRoIB)",
+            }
+        )?;
+        writeln!(f, "network              {}", c.interconnect)?;
+        writeln!(
+            f,
+            "cluster              {:?} x{} ({})",
+            c.cluster,
+            c.slaves,
+            c.node_spec().name
+        )?;
+        writeln!(f, "maps / reduces       {} / {}", c.num_maps, c.num_reduces)?;
+        writeln!(
+            f,
+            "key / value          {} B / {} B ({})",
+            c.key_size, c.value_size, c.data_type
+        )?;
+        writeln!(f, "shuffle data         {}", c.shuffle_bytes())?;
+        writeln!(f, "---------------------------------------------------------")?;
+        writeln!(
+            f,
+            "JOB EXECUTION TIME   {:.1} s",
+            self.job_time_secs()
+        )?;
+        writeln!(
+            f,
+            "map phase            {:.1} s   shuffle end {:.1} s",
+            self.map_phase_secs(),
+            self.result.shuffle_end.as_secs_f64()
+        )?;
+        writeln!(
+            f,
+            "peak CPU             {:.0} %    peak network rx {:.0} MB/s",
+            self.peak_cpu_pct(),
+            self.peak_rx_mbps()
+        )?;
+        writeln!(f, "---------------------------------------------------------")?;
+        write!(f, "{}", self.result.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::MicroBenchmark;
+    use crate::runner::run;
+    use simcore::units::ByteSize;
+    use simnet::Interconnect;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut config = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_mib(512),
+        );
+        config.slaves = 2;
+        config.num_maps = 4;
+        config.num_reduces = 4;
+        let report = run(&config).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("MR-AVG"));
+        assert!(text.contains("JOB EXECUTION TIME"));
+        assert!(text.contains("1GigE"));
+        assert!(text.contains("peak CPU"));
+        assert!(text.contains("Counters"));
+        assert!(report.job_time_secs() > 0.0);
+        assert!(report.peak_cpu_pct() > 0.0);
+    }
+}

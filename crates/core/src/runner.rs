@@ -1,0 +1,93 @@
+//! Runs a [`BenchConfig`] through the simulated engine.
+
+use mapreduce::engine::Engine;
+
+use crate::config::BenchConfig;
+use crate::report::BenchReport;
+
+/// Run one micro-benchmark to completion.
+pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
+    config.validate()?;
+    let spec = config.job_spec();
+    let factory = config.factory();
+    let engine = Engine::new(
+        spec,
+        factory.as_ref(),
+        config.node_spec(),
+        config.slaves,
+        config.interconnect,
+    );
+    let result = engine.run();
+    Ok(BenchReport {
+        config: config.clone(),
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::MicroBenchmark;
+    use crate::config::ShuffleVolume;
+    use simcore::units::ByteSize;
+    use simnet::Interconnect;
+
+    fn small(bench: MicroBenchmark, ic: Interconnect) -> BenchConfig {
+        let mut c = BenchConfig::cluster_a_default(bench, ic, ByteSize::from_mib(256));
+        c.slaves = 2;
+        c.num_maps = 4;
+        c.num_reduces = 4;
+        c
+    }
+
+    #[test]
+    fn all_three_benchmarks_run() {
+        for bench in MicroBenchmark::ALL {
+            let report = run(&small(bench, Interconnect::GigE1)).unwrap();
+            assert_eq!(report.result.counters.maps_completed, 4);
+            assert_eq!(report.result.counters.reduces_completed, 4);
+            assert!(report.job_time_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn skew_is_slower_than_avg() {
+        let avg = run(&small(MicroBenchmark::Avg, Interconnect::GigE1)).unwrap();
+        let skew = run(&small(MicroBenchmark::Skew, Interconnect::GigE1)).unwrap();
+        // At this toy scale fixed overheads dominate; the paper's ~2x
+        // factor emerges at multi-gigabyte sizes (checked by the fig2
+        // bench and the integration tests).
+        assert!(
+            skew.job_time_secs() > avg.job_time_secs() * 1.1,
+            "skew {} vs avg {}",
+            skew.job_time_secs(),
+            avg.job_time_secs()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&small(MicroBenchmark::Rand, Interconnect::IpoibQdr)).unwrap();
+        let b = run(&small(MicroBenchmark::Rand, Interconnect::IpoibQdr)).unwrap();
+        assert_eq!(a.result.job_time, b.result.job_time);
+        assert_eq!(a.result.counters, b.result.counters);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut c = small(MicroBenchmark::Avg, Interconnect::GigE1);
+        c.slaves = 0;
+        assert!(run(&c).is_err());
+    }
+
+    #[test]
+    fn record_conservation_across_benchmarks() {
+        for bench in MicroBenchmark::ALL {
+            let mut c = small(bench, Interconnect::GigE10);
+            c.volume = ShuffleVolume::PairsPerMap(10_000);
+            let r = run(&c).unwrap();
+            assert_eq!(r.result.counters.map_output_records, 40_000, "{bench}");
+            assert_eq!(r.result.counters.reduce_input_records, 40_000, "{bench}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Parameter sweeps: run a family of configurations and tabulate job
+//! execution times, as every figure in the paper does.
+
+use simcore::units::ByteSize;
+use simnet::Interconnect;
+
+use crate::bench::MicroBenchmark;
+use crate::config::BenchConfig;
+use crate::report::BenchReport;
+use crate::runner::run;
+
+/// One cell of a sweep: a configuration and its result.
+pub struct SweepCell {
+    /// Shuffle size of this cell.
+    pub shuffle: ByteSize,
+    /// Interconnect of this cell.
+    pub interconnect: Interconnect,
+    /// The full report.
+    pub report: BenchReport,
+}
+
+/// A (shuffle size × interconnect) sweep of one micro-benchmark: exactly
+/// the grid each panel of Figs. 2–6 plots.
+pub struct Sweep {
+    /// Row labels.
+    pub sizes: Vec<ByteSize>,
+    /// Column labels.
+    pub interconnects: Vec<Interconnect>,
+    /// Cells in row-major order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl Sweep {
+    /// Run the grid. `make` builds the config for one (size, interconnect)
+    /// pair, letting callers fix every other parameter.
+    pub fn run_grid(
+        sizes: &[ByteSize],
+        interconnects: &[Interconnect],
+        make: impl Fn(ByteSize, Interconnect) -> BenchConfig,
+    ) -> Result<Sweep, String> {
+        let mut cells = Vec::with_capacity(sizes.len() * interconnects.len());
+        for &shuffle in sizes {
+            for &ic in interconnects {
+                let report = run(&make(shuffle, ic))?;
+                cells.push(SweepCell {
+                    shuffle,
+                    interconnect: ic,
+                    report,
+                });
+            }
+        }
+        Ok(Sweep {
+            sizes: sizes.to_vec(),
+            interconnects: interconnects.to_vec(),
+            cells,
+        })
+    }
+
+    /// Convenience: the paper's Cluster A grid for one benchmark.
+    pub fn cluster_a(
+        benchmark: MicroBenchmark,
+        sizes: &[ByteSize],
+        interconnects: &[Interconnect],
+    ) -> Result<Sweep, String> {
+        Sweep::run_grid(sizes, interconnects, |shuffle, ic| {
+            BenchConfig::cluster_a_default(benchmark, ic, shuffle)
+        })
+    }
+
+    /// Job time (seconds) for a cell.
+    pub fn time(&self, shuffle: ByteSize, ic: Interconnect) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.shuffle == shuffle && c.interconnect == ic)
+            .map(|c| c.report.job_time_secs())
+    }
+
+    /// Relative improvement of `fast` over `slow` at `shuffle`, in
+    /// percent (positive when `fast` wins).
+    pub fn improvement_pct(
+        &self,
+        shuffle: ByteSize,
+        slow: Interconnect,
+        fast: Interconnect,
+    ) -> Option<f64> {
+        let s = self.time(shuffle, slow)?;
+        let f = self.time(shuffle, fast)?;
+        Some((s - f) / s * 100.0)
+    }
+
+    /// Render the paper-style table: one row per shuffle size, one column
+    /// per interconnect, job time in seconds.
+    pub fn table(&self, title: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = write!(out, "{:>12}", "shuffle");
+        for ic in &self.interconnects {
+            let _ = write!(out, "{:>18}", ic.label());
+        }
+        let _ = writeln!(out);
+        for &size in &self.sizes {
+            let _ = write!(out, "{:>12}", size.to_string());
+            for &ic in &self.interconnects {
+                match self.time(size, ic) {
+                    Some(t) => {
+                        let _ = write!(out, "{:>16.1} s", t);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(shuffle: ByteSize, ic: Interconnect) -> BenchConfig {
+        let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
+        c.slaves = 2;
+        c.num_maps = 4;
+        c.num_reduces = 4;
+        c
+    }
+
+    #[test]
+    fn grid_runs_and_tabulates() {
+        let sizes = [ByteSize::from_mib(128), ByteSize::from_mib(256)];
+        let ics = [Interconnect::GigE1, Interconnect::IpoibQdr];
+        let sweep = Sweep::run_grid(&sizes, &ics, tiny).unwrap();
+        assert_eq!(sweep.cells.len(), 4);
+        for &s in &sizes {
+            for &ic in &ics {
+                assert!(sweep.time(s, ic).unwrap() > 0.0);
+            }
+        }
+        // Faster network never slower.
+        let imp = sweep
+            .improvement_pct(ByteSize::from_mib(256), Interconnect::GigE1, Interconnect::IpoibQdr)
+            .unwrap();
+        assert!(imp >= 0.0, "improvement {imp}");
+        let table = sweep.table("test table");
+        assert!(table.contains("1GigE"));
+        assert!(table.contains("128.00MiB"));
+    }
+}

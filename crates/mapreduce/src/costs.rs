@@ -1,0 +1,110 @@
+//! CPU cost model for MapReduce task phases.
+//!
+//! Work amounts are core-seconds at the Cluster A (Westmere 2.67 GHz)
+//! baseline; faster nodes divide by their `speed` factor inside the CPU
+//! simulator. These constants were calibrated once against the paper's
+//! MR-AVG anchor point (16 GB shuffle, 1 KB key/value, 16 maps / 8 reduces
+//! on 4 slaves, IPoIB QDR ≈ 107 s; Sect. 5.2) and then left alone — every
+//! other figure must emerge from the model.
+
+/// Per-phase CPU costs of the MapReduce engine.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Map side: generate one key/value pair, run the partitioner, and
+    /// copy it into the sort buffer (µs per record).
+    pub map_us_per_record: f64,
+    /// Map side: serialization and buffer management (core-seconds per
+    /// MiB of map output).
+    pub map_cpu_per_mib: f64,
+    /// Sort the spill buffer (µs per record; the log-factor over realistic
+    /// buffer sizes is folded into the constant).
+    pub sort_us_per_record: f64,
+    /// Merge streams, map or reduce side (core-seconds per MiB merged).
+    pub merge_cpu_per_mib: f64,
+    /// Reduce function: iterate and discard one record (µs per record).
+    pub reduce_us_per_record: f64,
+    /// Reduce side: deserialization and buffer management (core-seconds
+    /// per MiB of shuffle input).
+    pub reduce_cpu_per_mib: f64,
+    /// Launching a task JVM (seconds; MRv1 reuses none by default).
+    pub jvm_startup_s: f64,
+    /// Job setup/cleanup tasks the JobTracker runs around the job
+    /// (seconds each).
+    pub job_overhead_s: f64,
+}
+
+impl CostModel {
+    /// The calibrated Cluster A model.
+    pub fn calibrated() -> Self {
+        CostModel {
+            map_us_per_record: 2.0,
+            map_cpu_per_mib: 0.045,
+            sort_us_per_record: 1.0,
+            merge_cpu_per_mib: 0.005,
+            reduce_us_per_record: 2.0,
+            reduce_cpu_per_mib: 0.0185,
+            jvm_startup_s: 1.1,
+            job_overhead_s: 2.5,
+        }
+    }
+
+    /// CPU seconds for the map generate/collect phase of `records`
+    /// records totalling `bytes` of serialized output.
+    pub fn map_collect(&self, records: u64, bytes: u64, type_factor: f64) -> f64 {
+        records as f64 * self.map_us_per_record * 1e-6
+            + bytes as f64 / MIB * self.map_cpu_per_mib * type_factor
+    }
+
+    /// CPU seconds to sort `records` records in a spill buffer.
+    pub fn sort(&self, records: u64) -> f64 {
+        records as f64 * self.sort_us_per_record * 1e-6
+    }
+
+    /// CPU seconds to merge `bytes` of IFile data.
+    pub fn merge(&self, bytes: u64) -> f64 {
+        bytes as f64 / MIB * self.merge_cpu_per_mib
+    }
+
+    /// CPU seconds for the reduce function over `records` records and
+    /// `bytes` of input.
+    pub fn reduce(&self, records: u64, bytes: u64, type_factor: f64) -> f64 {
+        records as f64 * self.reduce_us_per_record * 1e-6
+            + bytes as f64 / MIB * self.reduce_cpu_per_mib * type_factor
+    }
+}
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_linearly() {
+        let m = CostModel::calibrated();
+        let one = m.map_collect(1_000, 1 << 20, 1.0);
+        let ten = m.map_collect(10_000, 10 << 20, 1.0);
+        assert!((ten - 10.0 * one).abs() < 1e-9);
+        assert!((m.merge(10 << 20) - 10.0 * m.merge(1 << 20)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type_factor_raises_cpu() {
+        let m = CostModel::calibrated();
+        let plain = m.reduce(1000, 1 << 20, 1.0);
+        let text = m.reduce(1000, 1 << 20, 1.25);
+        assert!(text > plain);
+    }
+
+    #[test]
+    fn small_records_cost_more_per_byte() {
+        // The Fig. 4 effect: at a fixed data volume, more+smaller records
+        // mean more per-record work.
+        let m = CostModel::calibrated();
+        let bytes = 1u64 << 30;
+        let small = m.map_collect(bytes / 100, bytes, 1.0); // 100 B records
+        let large = m.map_collect(bytes / 10_240, bytes, 1.0); // 10 KiB records
+        // The effect is real but modest (paper: 128 s vs 107 s at 16 GB).
+        assert!(small > large * 1.2, "small={small} large={large}");
+    }
+}

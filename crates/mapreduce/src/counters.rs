@@ -1,0 +1,121 @@
+//! Job counters, mirroring Hadoop's `Counters` output.
+
+use std::fmt;
+
+/// Aggregated counters for one job run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counters {
+    /// Records read by mappers (one dummy record per NullInputFormat
+    /// split).
+    pub map_input_records: u64,
+    /// Intermediate records emitted by mappers.
+    pub map_output_records: u64,
+    /// Raw (payload) bytes of map output.
+    pub map_output_bytes: u64,
+    /// IFile bytes of map output after framing and checksums — what the
+    /// shuffle actually moves.
+    pub map_output_materialized_bytes: u64,
+    /// Records written to spill files (map side).
+    pub spilled_records_map: u64,
+    /// Records written to spill files (reduce side).
+    pub spilled_records_reduce: u64,
+    /// Successful fetch transfers.
+    pub shuffled_fetches: u64,
+    /// Bytes pulled across the network (remote fetches).
+    pub remote_shuffle_bytes: u64,
+    /// Bytes fetched from the reducer's own node (loopback).
+    pub local_shuffle_bytes: u64,
+    /// Records fed to reduce functions.
+    pub reduce_input_records: u64,
+    /// Bytes written to local disks (spills, merges).
+    pub disk_write_bytes: u64,
+    /// Bytes read from local disks (merges, uncached shuffle serves).
+    pub disk_read_bytes: u64,
+    /// Total CPU core-seconds consumed by tasks (baseline-normalized).
+    pub cpu_core_seconds: f64,
+    /// CPU core-seconds spent on network protocol processing.
+    pub protocol_cpu_seconds: f64,
+    /// Task attempts that failed and were re-executed.
+    pub failed_task_attempts: u64,
+    /// Map tasks completed.
+    pub maps_completed: u64,
+    /// Reduce tasks completed.
+    pub reduces_completed: u64,
+}
+
+impl Counters {
+    /// Total shuffle volume (remote + local).
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.remote_shuffle_bytes + self.local_shuffle_bytes
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Counters:")?;
+        writeln!(f, "  Map input records      {}", self.map_input_records)?;
+        writeln!(f, "  Map output records     {}", self.map_output_records)?;
+        writeln!(f, "  Map output bytes       {}", self.map_output_bytes)?;
+        writeln!(
+            f,
+            "  Materialized bytes     {}",
+            self.map_output_materialized_bytes
+        )?;
+        writeln!(
+            f,
+            "  Spilled records        {} (map) / {} (reduce)",
+            self.spilled_records_map, self.spilled_records_reduce
+        )?;
+        writeln!(f, "  Shuffled fetches       {}", self.shuffled_fetches)?;
+        writeln!(
+            f,
+            "  Shuffle bytes          {} remote / {} local",
+            self.remote_shuffle_bytes, self.local_shuffle_bytes
+        )?;
+        writeln!(f, "  Reduce input records   {}", self.reduce_input_records)?;
+        writeln!(
+            f,
+            "  Local disk I/O         {} written / {} read",
+            self.disk_write_bytes, self.disk_read_bytes
+        )?;
+        writeln!(
+            f,
+            "  CPU core-seconds       {:.1} (+{:.1} protocol)",
+            self.cpu_core_seconds, self.protocol_cpu_seconds
+        )?;
+        writeln!(
+            f,
+            "  Failed task attempts   {}",
+            self.failed_task_attempts
+        )?;
+        write!(
+            f,
+            "  Tasks completed        {} maps / {} reduces",
+            self.maps_completed, self.reduces_completed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let c = Counters {
+            remote_shuffle_bytes: 100,
+            local_shuffle_bytes: 20,
+            ..Counters::default()
+        };
+        assert_eq!(c.total_shuffle_bytes(), 120);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let c = Counters::default();
+        let s = c.to_string();
+        assert!(s.contains("Map output records"));
+        assert!(s.contains("Shuffle bytes"));
+        assert!(s.contains("CPU core-seconds"));
+    }
+}

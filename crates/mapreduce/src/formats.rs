@@ -1,0 +1,145 @@
+//! Input and output formats for stand-alone operation.
+//!
+//! The whole point of the paper's suite is running MapReduce *without*
+//! HDFS: `NullInputFormat` fabricates empty splits (one per map task, a
+//! single dummy record each) so mappers can synthesize their data in
+//! memory, and `NullOutputFormat` discards reduce output. A local-disk
+//! format is provided for examples that want observable output.
+
+use simcore::units::ByteSize;
+
+/// A unit of input work handed to one map task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputSplit {
+    /// Index of the map task this split feeds.
+    pub index: u32,
+    /// Bytes a record reader would pull from storage for this split.
+    pub length: ByteSize,
+    /// Records the split yields to the mapper.
+    pub records: u64,
+}
+
+/// Produces the splits for a job, as `InputFormat.getSplits`.
+pub trait InputFormat {
+    /// One split per map task.
+    fn splits(&self, num_maps: u32) -> Vec<InputSplit>;
+    /// Format name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The suite's `NullInputFormat`: dummy splits with a single record each
+/// and zero bytes of storage input. The mapper ignores the record and
+/// generates its key/value pairs in memory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullInputFormat;
+
+impl InputFormat for NullInputFormat {
+    fn splits(&self, num_maps: u32) -> Vec<InputSplit> {
+        (0..num_maps)
+            .map(|index| InputSplit {
+                index,
+                length: ByteSize::ZERO,
+                records: 1,
+            })
+            .collect()
+    }
+    fn name(&self) -> &'static str {
+        "NullInputFormat"
+    }
+}
+
+/// A synthetic on-disk input (for examples that model a pre-loaded local
+/// dataset): every split reads `bytes_per_split` from local disk.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalFileInputFormat {
+    /// Bytes each map reads from its local disk.
+    pub bytes_per_split: ByteSize,
+    /// Records per split.
+    pub records_per_split: u64,
+}
+
+impl InputFormat for LocalFileInputFormat {
+    fn splits(&self, num_maps: u32) -> Vec<InputSplit> {
+        (0..num_maps)
+            .map(|index| InputSplit {
+                index,
+                length: self.bytes_per_split,
+                records: self.records_per_split,
+            })
+            .collect()
+    }
+    fn name(&self) -> &'static str {
+        "LocalFileInputFormat"
+    }
+}
+
+/// Where reduce output goes, as `OutputFormat`.
+pub trait OutputFormat {
+    /// Bytes written to local storage per byte of reduce output
+    /// (0 discards, 1 writes everything).
+    fn write_amplification(&self) -> f64;
+    /// Format name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// `org.apache.hadoop.mapred.lib.NullOutputFormat`: reduce output is
+/// iterated and discarded (the suite sends it to /dev/null).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullOutputFormat;
+
+impl OutputFormat for NullOutputFormat {
+    fn write_amplification(&self) -> f64 {
+        0.0
+    }
+    fn name(&self) -> &'static str {
+        "NullOutputFormat"
+    }
+}
+
+/// Writes reduce output to the reducer's local disk (no DFS involved).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalFileOutputFormat;
+
+impl OutputFormat for LocalFileOutputFormat {
+    fn write_amplification(&self) -> f64 {
+        1.0
+    }
+    fn name(&self) -> &'static str {
+        "LocalFileOutputFormat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_input_fabricates_dummy_splits() {
+        let splits = NullInputFormat.splits(16);
+        assert_eq!(splits.len(), 16);
+        for (i, s) in splits.iter().enumerate() {
+            assert_eq!(s.index, i as u32);
+            assert_eq!(s.length, ByteSize::ZERO);
+            assert_eq!(s.records, 1);
+        }
+    }
+
+    #[test]
+    fn local_input_sizes_splits() {
+        let f = LocalFileInputFormat {
+            bytes_per_split: ByteSize::from_mib(64),
+            records_per_split: 1000,
+        };
+        let splits = f.splits(3);
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[2].length, ByteSize::from_mib(64));
+        assert_eq!(splits[2].records, 1000);
+    }
+
+    #[test]
+    fn output_amplifications() {
+        assert_eq!(NullOutputFormat.write_amplification(), 0.0);
+        assert_eq!(LocalFileOutputFormat.write_amplification(), 1.0);
+        assert_eq!(NullOutputFormat.name(), "NullOutputFormat");
+    }
+}

@@ -1,0 +1,149 @@
+//! Raw-byte comparators, as `org.apache.hadoop.io.WritableComparator`.
+//!
+//! Hadoop's sort and merge phases never deserialize keys: they compare
+//! the serialized bytes directly. Each key type registers a raw
+//! comparator; the semantics here are bit-compatible with the stock
+//! implementations, which matters because the suite's intermediate data
+//! is sorted by these rules before it is shuffled.
+
+use std::cmp::Ordering;
+
+use super::vint;
+
+/// `WritableComparator.compareBytes`: unsigned lexicographic comparison,
+/// shorter prefix first.
+pub fn compare_bytes(a: &[u8], b: &[u8]) -> Ordering {
+    a.cmp(b)
+}
+
+/// Raw comparator for `BytesWritable`: skips the 4-byte length header and
+/// compares payloads lexicographically (ties broken by length, which the
+/// prefix rule already handles).
+pub fn compare_bytes_writable(a: &[u8], b: &[u8]) -> Ordering {
+    let ka = &a[4..];
+    let kb = &b[4..];
+    compare_bytes(ka, kb)
+}
+
+/// Raw comparator for `Text`: skips the vint length header and compares
+/// the UTF-8 bytes (Hadoop compares Text as raw bytes too, which is
+/// code-point order for UTF-8).
+pub fn compare_text(a: &[u8], b: &[u8]) -> Ordering {
+    let mut pa = 0;
+    let mut pb = 0;
+    let _ = vint::read_vint(a, &mut pa).expect("valid Text framing");
+    let _ = vint::read_vint(b, &mut pb).expect("valid Text framing");
+    compare_bytes(&a[pa..], &b[pb..])
+}
+
+/// Raw comparator for `IntWritable`: big-endian two's-complement, so the
+/// sign bit must be flipped before a byte compare — Hadoop instead reads
+/// the ints; we do the same for clarity.
+pub fn compare_int_writable(a: &[u8], b: &[u8]) -> Ordering {
+    let ia = i32::from_be_bytes(a[..4].try_into().expect("4-byte IntWritable"));
+    let ib = i32::from_be_bytes(b[..4].try_into().expect("4-byte IntWritable"));
+    ia.cmp(&ib)
+}
+
+/// Raw comparator for `LongWritable`.
+pub fn compare_long_writable(a: &[u8], b: &[u8]) -> Ordering {
+    let ia = i64::from_be_bytes(a[..8].try_into().expect("8-byte LongWritable"));
+    let ib = i64::from_be_bytes(b[..8].try_into().expect("8-byte LongWritable"));
+    ia.cmp(&ib)
+}
+
+/// The raw comparator for a serialized key of the given data type.
+pub fn for_data_type(dt: super::DataType) -> fn(&[u8], &[u8]) -> Ordering {
+    match dt {
+        super::DataType::BytesWritable => compare_bytes_writable,
+        super::DataType::Text => compare_text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::writable::{BytesWritable, IntWritable, LongWritable, Text, Writable};
+
+    fn ser<W: Writable>(w: W) -> Vec<u8> {
+        let mut out = Vec::new();
+        w.write(&mut out);
+        out
+    }
+
+    #[test]
+    fn bytes_writable_orders_by_payload() {
+        let a = ser(BytesWritable::new(vec![1, 2, 3]));
+        let b = ser(BytesWritable::new(vec![1, 2, 4]));
+        let c = ser(BytesWritable::new(vec![1, 2]));
+        assert_eq!(compare_bytes_writable(&a, &b), Ordering::Less);
+        assert_eq!(compare_bytes_writable(&b, &a), Ordering::Greater);
+        assert_eq!(compare_bytes_writable(&a, &a), Ordering::Equal);
+        // Prefix sorts first.
+        assert_eq!(compare_bytes_writable(&c, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn text_orders_by_utf8_bytes() {
+        let a = ser(Text::new("apple"));
+        let b = ser(Text::new("banana"));
+        let c = ser(Text::new("app"));
+        assert_eq!(compare_text(&a, &b), Ordering::Less);
+        assert_eq!(compare_text(&c, &a), Ordering::Less);
+        assert_eq!(compare_text(&b, &b), Ordering::Equal);
+        // Long strings exercise multi-byte vint headers.
+        let long_a = ser(Text::new("a".repeat(500)));
+        let long_b = ser(Text::new(format!("{}b", "a".repeat(499))));
+        assert_eq!(compare_text(&long_a, &long_b), Ordering::Less);
+    }
+
+    #[test]
+    fn int_comparator_respects_sign() {
+        let neg = ser(IntWritable(-5));
+        let pos = ser(IntWritable(5));
+        let zero = ser(IntWritable(0));
+        assert_eq!(compare_int_writable(&neg, &pos), Ordering::Less);
+        assert_eq!(compare_int_writable(&neg, &zero), Ordering::Less);
+        assert_eq!(compare_int_writable(&pos, &pos), Ordering::Equal);
+        // A naive byte compare would order -5 after 5 (sign bit set);
+        // the comparator must not.
+        assert_eq!(compare_bytes(&neg, &pos), Ordering::Greater);
+    }
+
+    #[test]
+    fn long_comparator_extremes() {
+        let min = ser(LongWritable(i64::MIN));
+        let max = ser(LongWritable(i64::MAX));
+        assert_eq!(compare_long_writable(&min, &max), Ordering::Less);
+        assert_eq!(compare_long_writable(&max, &min), Ordering::Greater);
+    }
+
+    #[test]
+    fn sorting_serialized_keys_with_raw_comparators() {
+        let mut keys: Vec<Vec<u8>> = [5i32, -3, 42, 0, -100, 7]
+            .into_iter()
+            .map(|v| ser(IntWritable(v)))
+            .collect();
+        keys.sort_by(|a, b| compare_int_writable(a, b));
+        let values: Vec<i32> = keys
+            .iter()
+            .map(|k| {
+                let mut pos = 0;
+                IntWritable::read_fields(k, &mut pos).unwrap().0
+            })
+            .collect();
+        assert_eq!(values, vec![-100, -3, 0, 5, 7, 42]);
+    }
+
+    #[test]
+    fn for_data_type_dispatches() {
+        let a = ser(BytesWritable::new(vec![1]));
+        let b = ser(BytesWritable::new(vec![2]));
+        let cmp = for_data_type(crate::io::DataType::BytesWritable);
+        assert_eq!(cmp(&a, &b), Ordering::Less);
+        let ta = ser(Text::new("a"));
+        let tb = ser(Text::new("b"));
+        let cmp = for_data_type(crate::io::DataType::Text);
+        assert_eq!(cmp(&ta, &tb), Ordering::Less);
+    }
+}

@@ -1,0 +1,341 @@
+//! The `Writable` serialization contract and Hadoop's primitive types.
+//!
+//! Hadoop serializes keys and values through the `Writable` interface:
+//! `write(DataOutput)` / `readFields(DataInput)`. The wire formats matter
+//! to this project because the benchmark charges simulated disks and
+//! networks with the *exact serialized size* of the intermediate data, and
+//! because the paper evaluates how the choice of data type
+//! (`BytesWritable` vs `Text`) changes job time.
+
+use super::vint::{self, VIntError};
+
+/// Serialization error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Input ended prematurely.
+    Truncated,
+    /// A length field was negative or otherwise nonsensical.
+    BadLength,
+    /// Text payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl From<VIntError> for WireError {
+    fn from(_: VIntError) -> Self {
+        WireError::Truncated
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated input"),
+            WireError::BadLength => f.write_str("invalid length field"),
+            WireError::BadUtf8 => f.write_str("invalid UTF-8 in Text"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Rust rendition of `org.apache.hadoop.io.Writable`.
+pub trait Writable: Sized {
+    /// Serialize onto `out` in Hadoop wire format.
+    fn write(&self, out: &mut Vec<u8>);
+    /// Deserialize from `buf` at `*pos`, advancing `*pos`.
+    fn read_fields(buf: &[u8], pos: &mut usize) -> Result<Self, WireError>;
+    /// Exact serialized size in bytes.
+    fn serialized_len(&self) -> usize;
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], WireError> {
+    let end = pos.checked_add(n).ok_or(WireError::BadLength)?;
+    let s = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+    *pos = end;
+    Ok(s)
+}
+
+/// `org.apache.hadoop.io.IntWritable`: 4 bytes big-endian.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct IntWritable(pub i32);
+
+impl Writable for IntWritable {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_be_bytes());
+    }
+    fn read_fields(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let b = take(buf, pos, 4)?;
+        Ok(IntWritable(i32::from_be_bytes(b.try_into().unwrap())))
+    }
+    fn serialized_len(&self) -> usize {
+        4
+    }
+}
+
+/// `org.apache.hadoop.io.LongWritable`: 8 bytes big-endian.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LongWritable(pub i64);
+
+impl Writable for LongWritable {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_be_bytes());
+    }
+    fn read_fields(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let b = take(buf, pos, 8)?;
+        Ok(LongWritable(i64::from_be_bytes(b.try_into().unwrap())))
+    }
+    fn serialized_len(&self) -> usize {
+        8
+    }
+}
+
+/// `org.apache.hadoop.io.VLongWritable`: vlong encoded.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VLongWritable(pub i64);
+
+impl Writable for VLongWritable {
+    fn write(&self, out: &mut Vec<u8>) {
+        vint::write_vlong(out, self.0);
+    }
+    fn read_fields(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        Ok(VLongWritable(vint::read_vlong(buf, pos)?))
+    }
+    fn serialized_len(&self) -> usize {
+        vint::vlong_size(self.0)
+    }
+}
+
+/// `org.apache.hadoop.io.BooleanWritable`: one byte.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BooleanWritable(pub bool);
+
+impl Writable for BooleanWritable {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.0));
+    }
+    fn read_fields(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let b = take(buf, pos, 1)?;
+        Ok(BooleanWritable(b[0] != 0))
+    }
+    fn serialized_len(&self) -> usize {
+        1
+    }
+}
+
+/// `org.apache.hadoop.io.FloatWritable`: 4 bytes big-endian IEEE-754.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct FloatWritable(pub f32);
+
+impl Writable for FloatWritable {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_be_bytes());
+    }
+    fn read_fields(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let b = take(buf, pos, 4)?;
+        Ok(FloatWritable(f32::from_be_bytes(b.try_into().unwrap())))
+    }
+    fn serialized_len(&self) -> usize {
+        4
+    }
+}
+
+/// `org.apache.hadoop.io.DoubleWritable`: 8 bytes big-endian IEEE-754.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct DoubleWritable(pub f64);
+
+impl Writable for DoubleWritable {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_be_bytes());
+    }
+    fn read_fields(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let b = take(buf, pos, 8)?;
+        Ok(DoubleWritable(f64::from_be_bytes(b.try_into().unwrap())))
+    }
+    fn serialized_len(&self) -> usize {
+        8
+    }
+}
+
+/// `org.apache.hadoop.io.NullWritable`: zero bytes on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct NullWritable;
+
+impl Writable for NullWritable {
+    fn write(&self, _out: &mut Vec<u8>) {}
+    fn read_fields(_buf: &[u8], _pos: &mut usize) -> Result<Self, WireError> {
+        Ok(NullWritable)
+    }
+    fn serialized_len(&self) -> usize {
+        0
+    }
+}
+
+/// `org.apache.hadoop.io.BytesWritable`: 4-byte big-endian length followed
+/// by the raw bytes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BytesWritable(pub Vec<u8>);
+
+impl BytesWritable {
+    /// Wrap a payload.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        BytesWritable(bytes)
+    }
+
+    /// The serialized size of a `BytesWritable` holding `n` payload bytes.
+    pub const fn wire_len(n: usize) -> usize {
+        4 + n
+    }
+}
+
+impl Writable for BytesWritable {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.0.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.0);
+    }
+    fn read_fields(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let b = take(buf, pos, 4)?;
+        let len = u32::from_be_bytes(b.try_into().unwrap());
+        if len > i32::MAX as u32 {
+            return Err(WireError::BadLength);
+        }
+        Ok(BytesWritable(take(buf, pos, len as usize)?.to_vec()))
+    }
+    fn serialized_len(&self) -> usize {
+        Self::wire_len(self.0.len())
+    }
+}
+
+/// `org.apache.hadoop.io.Text`: vint byte-length followed by UTF-8 bytes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Text(pub String);
+
+impl Text {
+    /// Wrap a string.
+    pub fn new(s: impl Into<String>) -> Self {
+        Text(s.into())
+    }
+
+    /// The serialized size of a `Text` holding `n` UTF-8 bytes.
+    pub fn wire_len(n: usize) -> usize {
+        vint::vint_size(n as i32) + n
+    }
+}
+
+impl Writable for Text {
+    fn write(&self, out: &mut Vec<u8>) {
+        vint::write_vint(out, self.0.len() as i32);
+        out.extend_from_slice(self.0.as_bytes());
+    }
+    fn read_fields(buf: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let len = vint::read_vint(buf, pos)?;
+        if len < 0 {
+            return Err(WireError::BadLength);
+        }
+        let bytes = take(buf, pos, len as usize)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+        Ok(Text(s.to_owned()))
+    }
+    fn serialized_len(&self) -> usize {
+        Self::wire_len(self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<W: Writable + PartialEq + std::fmt::Debug>(w: W) {
+        let mut buf = Vec::new();
+        w.write(&mut buf);
+        assert_eq!(buf.len(), w.serialized_len());
+        let mut pos = 0;
+        let back = W::read_fields(&buf, &mut pos).unwrap();
+        assert_eq!(back, w);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(IntWritable(0));
+        round_trip(IntWritable(i32::MIN));
+        round_trip(IntWritable(i32::MAX));
+        round_trip(LongWritable(i64::MIN));
+        round_trip(LongWritable(42));
+        round_trip(VLongWritable(-1));
+        round_trip(VLongWritable(1 << 40));
+        round_trip(BooleanWritable(true));
+        round_trip(FloatWritable(3.25));
+        round_trip(DoubleWritable(-0.125));
+        round_trip(NullWritable);
+    }
+
+    #[test]
+    fn int_is_big_endian() {
+        let mut buf = Vec::new();
+        IntWritable(1).write(&mut buf);
+        assert_eq!(buf, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn bytes_writable_format() {
+        let w = BytesWritable::new(vec![0xAA, 0xBB]);
+        let mut buf = Vec::new();
+        w.write(&mut buf);
+        assert_eq!(buf, vec![0, 0, 0, 2, 0xAA, 0xBB]);
+        assert_eq!(w.serialized_len(), 6);
+        assert_eq!(BytesWritable::wire_len(1024), 1028);
+        round_trip(w);
+        round_trip(BytesWritable::new(Vec::new()));
+    }
+
+    #[test]
+    fn text_format_uses_vint_length() {
+        let short = Text::new("hi");
+        let mut buf = Vec::new();
+        short.write(&mut buf);
+        assert_eq!(buf, vec![2, b'h', b'i']);
+        // 200-byte strings need a 2-byte vint (tag + one payload byte).
+        let long = Text::new("x".repeat(200));
+        assert_eq!(long.serialized_len(), 2 + 200);
+        round_trip(short);
+        round_trip(long);
+        round_trip(Text::new(""));
+        round_trip(Text::new("ünïcødé ✓"));
+    }
+
+    #[test]
+    fn text_vs_bytes_overhead_differs() {
+        // The paper's data-type dimension: for a 1 KiB payload Text costs a
+        // 3-byte vint header while BytesWritable costs a fixed 4 bytes.
+        assert_eq!(Text::wire_len(1024), 1027);
+        assert_eq!(BytesWritable::wire_len(1024), 1028);
+        // For tiny payloads Text's 1-byte header wins even more.
+        assert_eq!(Text::wire_len(10), 11);
+        assert_eq!(BytesWritable::wire_len(10), 14);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        BytesWritable::new(vec![1, 2, 3]).write(&mut buf);
+        let mut pos = 0;
+        assert_eq!(
+            BytesWritable::read_fields(&buf[..5], &mut pos),
+            Err(WireError::Truncated)
+        );
+        let mut pos = 0;
+        assert_eq!(
+            IntWritable::read_fields(&[0, 1], &mut pos),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn text_rejects_bad_utf8() {
+        let mut buf = Vec::new();
+        vint::write_vint(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut pos = 0;
+        assert_eq!(Text::read_fields(&buf, &mut pos), Err(WireError::BadUtf8));
+    }
+}

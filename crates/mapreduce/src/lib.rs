@@ -1,0 +1,45 @@
+//! # mapreduce — a stand-alone Hadoop MapReduce engine on simulated time
+//!
+//! A faithful model of the Hadoop MapReduce execution pipeline, decoupled
+//! from HDFS, as the paper's micro-benchmark suite requires:
+//!
+//! * [`io`] — `Writable` serialization (`BytesWritable`, `Text`,
+//!   primitives) with exact Hadoop wire formats.
+//! * [`ifile`] — the intermediate file format (vint framing, EOF marker,
+//!   CRC-32) whose byte counts drive all simulated I/O and network volume.
+//! * [`conf`] — `JobConf` with the `mapred-site.xml` knobs that matter.
+//! * [`formats`] — `NullInputFormat` / `NullOutputFormat` for stand-alone
+//!   operation.
+//! * [`partition`] — the `Partitioner` contract and `HashPartitioner`.
+//! * [`costs`] — the calibrated CPU cost model.
+//! * `task` (internal) — map and reduce task state machines
+//!   (sort/spill/merge, fetch pipelines).
+//! * [`shuffle`] — map-output registry, page-cache model, and the
+//!   RDMA/MRoIB shuffle engine model.
+//! * [`schedule`] — MRv1 slot and YARN container scheduling.
+//! * [`engine`] — the deterministic event-loop driver; start at
+//!   [`engine::run_job`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod conf;
+pub mod costs;
+pub mod counters;
+pub mod engine;
+pub mod formats;
+pub mod ifile;
+pub mod io;
+pub mod job;
+pub mod partition;
+pub mod schedule;
+pub mod shuffle;
+pub(crate) mod task;
+
+pub use conf::{EngineKind, JobConf, ShuffleEngineKind};
+pub use costs::CostModel;
+pub use counters::Counters;
+pub use engine::{run_job, Engine};
+pub use io::DataType;
+pub use job::{JobResult, JobSpec, PartitionerFactory, TaskTiming};
+pub use partition::{HashPartitioner, HashPartitionerFactory, Partitioner};

@@ -1,0 +1,141 @@
+//! Shuffle bookkeeping: the map-output registry and the page-cache model
+//! for the map-side shuffle server.
+//!
+//! When a map task commits, it registers its per-partition IFile segment
+//! sizes here. Reducers consult the registry to schedule fetches. The
+//! registry also models the OS page cache on each slave: map outputs were
+//! just written, so shuffle serves hit memory unless a node's total map
+//! output exceeds its cache budget — at which point the overflow fraction
+//! of every fetch is charged to the local disks, which is exactly the
+//! regime the paper's largest (64 GB) runs enter.
+
+pub mod rdma;
+
+use simcore::units::ByteSize;
+
+/// One committed map output.
+#[derive(Clone, Debug)]
+pub struct MapOutput {
+    /// Slave the map ran on (where the segments live).
+    pub node: usize,
+    /// IFile bytes of each reduce partition segment.
+    pub partition_bytes: Vec<u64>,
+    /// Records in each partition segment.
+    pub partition_records: Vec<u64>,
+}
+
+impl MapOutput {
+    /// Total materialized bytes of this output.
+    pub fn total_bytes(&self) -> u64 {
+        self.partition_bytes.iter().sum()
+    }
+}
+
+/// Registry of committed map outputs plus the per-node page-cache model.
+pub struct ShuffleRegistry {
+    outputs: Vec<Option<MapOutput>>,
+    node_output_bytes: Vec<u64>,
+    cache_budget: u64,
+}
+
+impl ShuffleRegistry {
+    /// Registry for `num_maps` maps over `n_nodes` slaves, each with
+    /// `node_memory` of RAM. The shuffle-serve cache budget is the
+    /// customary ~60 % of RAM left over after the task JVMs.
+    pub fn new(num_maps: u32, n_nodes: usize, node_memory: ByteSize) -> Self {
+        ShuffleRegistry {
+            outputs: vec![None; num_maps as usize],
+            node_output_bytes: vec![0; n_nodes],
+            cache_budget: (node_memory.as_bytes() as f64 * 0.60) as u64,
+        }
+    }
+
+    /// Commit a finished map's output.
+    pub fn register(&mut self, map_index: u32, output: MapOutput) {
+        assert!(
+            self.outputs[map_index as usize].is_none(),
+            "map {map_index} committed twice"
+        );
+        self.node_output_bytes[output.node] += output.total_bytes();
+        self.outputs[map_index as usize] = Some(output);
+    }
+
+    /// The committed output of `map_index`, if any.
+    pub fn output(&self, map_index: u32) -> Option<&MapOutput> {
+        self.outputs[map_index as usize].as_ref()
+    }
+
+    /// Number of committed outputs.
+    pub fn committed(&self) -> usize {
+        self.outputs.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Fraction of a shuffle serve from `node` that misses the page cache
+    /// and must be read from disk, in `[0, 1]`.
+    pub fn disk_miss_fraction(&self, node: usize) -> f64 {
+        let total = self.node_output_bytes[node];
+        if total <= self.cache_budget || total == 0 {
+            0.0
+        } else {
+            (total - self.cache_budget) as f64 / total as f64
+        }
+    }
+
+    /// Total committed map-output bytes on `node`.
+    pub fn node_output_bytes(&self, node: usize) -> u64 {
+        self.node_output_bytes[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output(node: usize, bytes: Vec<u64>) -> MapOutput {
+        let records = bytes.iter().map(|b| b / 100).collect();
+        MapOutput {
+            node,
+            partition_bytes: bytes,
+            partition_records: records,
+        }
+    }
+
+    #[test]
+    fn register_and_query() {
+        let mut r = ShuffleRegistry::new(2, 2, ByteSize::from_gib(24));
+        assert!(r.output(0).is_none());
+        r.register(0, output(1, vec![100, 200]));
+        assert_eq!(r.committed(), 1);
+        let o = r.output(0).unwrap();
+        assert_eq!(o.total_bytes(), 300);
+        assert_eq!(o.node, 1);
+        assert_eq!(r.node_output_bytes(1), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "committed twice")]
+    fn double_commit_panics() {
+        let mut r = ShuffleRegistry::new(1, 1, ByteSize::from_gib(1));
+        r.register(0, output(0, vec![1]));
+        r.register(0, output(0, vec![1]));
+    }
+
+    #[test]
+    fn small_outputs_stay_cached() {
+        let mut r = ShuffleRegistry::new(4, 1, ByteSize::from_gib(24));
+        // 4 GiB of output on a 24 GiB node: well within the 14.4 GiB budget.
+        for m in 0..4 {
+            r.register(m, output(0, vec![1 << 30]));
+        }
+        assert_eq!(r.disk_miss_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn oversized_outputs_spill_to_disk_reads() {
+        let mut r = ShuffleRegistry::new(1, 1, ByteSize::from_gib(24));
+        // 16 GiB of output against a 14.4 GiB budget: ~10 % disk misses.
+        r.register(0, output(0, vec![16 << 30]));
+        let f = r.disk_miss_fraction(0);
+        assert!(f > 0.05 && f < 0.15, "fraction {f}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Task state machines and the environment they act on.
+//!
+//! The engine routes subsystem completions (CPU, disk, network) to tasks
+//! through correlation tags. A tag encodes `(task id, stage, sequence)`;
+//! tag 0 is the *sink* — work that consumes simulated resources but needs
+//! no follow-up (e.g. sender-side protocol processing).
+
+pub(crate) mod map;
+pub(crate) mod reduce;
+
+use cluster::{CpuSim, DiskSim};
+use simcore::time::SimTime;
+use simnet::{Network, ProtocolModel};
+
+use crate::conf::JobConf;
+use crate::costs::CostModel;
+use crate::counters::Counters;
+use crate::job::JobSpec;
+use crate::shuffle::rdma::ShuffleModel;
+use crate::shuffle::ShuffleRegistry;
+
+/// Pipeline stages a completion can belong to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Stage {
+    /// Task JVM launch delay.
+    Jvm,
+    /// One map collect+sort chunk.
+    MapChunkCpu,
+    /// Asynchronous spill write of a map chunk.
+    MapSpillWrite,
+    /// Map-side final merge: reading spill files.
+    MapMergeRead,
+    /// Map-side final merge: CPU.
+    MapMergeCpu,
+    /// Map-side final merge: writing the merged output.
+    MapMergeWrite,
+    /// Shuffle fetch: uncached source-side disk read.
+    FetchSrcRead,
+    /// Shuffle fetch: the network transfer.
+    FetchNet,
+    /// Shuffle fetch: receiver-side protocol processing.
+    FetchCpu,
+    /// Reduce-side spill of accumulated shuffle data.
+    ReduceSpillWrite,
+    /// Reduce-side final merge: reading spilled segments.
+    ReduceMergeRead,
+    /// Reduce-side final merge: CPU.
+    ReduceMergeCpu,
+    /// The reduce function itself.
+    ReduceCpu,
+    /// Reduce output write (non-null output formats).
+    ReduceOutWrite,
+}
+
+impl Stage {
+    fn to_u8(self) -> u8 {
+        match self {
+            Stage::Jvm => 1,
+            Stage::MapChunkCpu => 2,
+            Stage::MapSpillWrite => 3,
+            Stage::MapMergeRead => 4,
+            Stage::MapMergeCpu => 5,
+            Stage::MapMergeWrite => 6,
+            Stage::FetchSrcRead => 7,
+            Stage::FetchNet => 8,
+            Stage::FetchCpu => 9,
+            Stage::ReduceSpillWrite => 10,
+            Stage::ReduceMergeRead => 11,
+            Stage::ReduceMergeCpu => 12,
+            Stage::ReduceCpu => 13,
+            Stage::ReduceOutWrite => 14,
+        }
+    }
+
+    fn from_u8(v: u8) -> Stage {
+        match v {
+            1 => Stage::Jvm,
+            2 => Stage::MapChunkCpu,
+            3 => Stage::MapSpillWrite,
+            4 => Stage::MapMergeRead,
+            5 => Stage::MapMergeCpu,
+            6 => Stage::MapMergeWrite,
+            7 => Stage::FetchSrcRead,
+            8 => Stage::FetchNet,
+            9 => Stage::FetchCpu,
+            10 => Stage::ReduceSpillWrite,
+            11 => Stage::ReduceMergeRead,
+            12 => Stage::ReduceMergeCpu,
+            13 => Stage::ReduceCpu,
+            14 => Stage::ReduceOutWrite,
+            other => panic!("invalid stage byte {other}"),
+        }
+    }
+}
+
+/// The sink tag: resource consumption with no follow-up event.
+pub(crate) const SINK_TAG: u64 = 0;
+
+/// Encode a correlation tag.
+pub(crate) fn tag(task: u32, stage: Stage, seq: u32) -> u64 {
+    (u64::from(task) + 1) << 40 | u64::from(stage.to_u8()) << 32 | u64::from(seq)
+}
+
+/// Decode a correlation tag; `None` for the sink.
+pub(crate) fn untag(t: u64) -> Option<(u32, Stage, u32)> {
+    if t == SINK_TAG {
+        None
+    } else {
+        let task = (t >> 40) as u32 - 1;
+        let stage = Stage::from_u8((t >> 32) as u8);
+        let seq = t as u32;
+        Some((task, stage, seq))
+    }
+}
+
+/// Out-of-band signals a task raises for the engine.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Note {
+    /// A map committed its output; reducers can fetch it.
+    MapOutputReady(u32),
+    /// A task finished; the scheduler can reuse its slot.
+    TaskFinished { is_map: bool, node: usize },
+}
+
+/// Mutable view of the simulation a task handler acts through.
+pub(crate) struct Env<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// CPU simulator.
+    pub cpu: &'a mut CpuSim,
+    /// Disk simulator.
+    pub disk: &'a mut DiskSim,
+    /// Network simulator.
+    pub net: &'a mut Network,
+    /// Job counters.
+    pub counters: &'a mut Counters,
+    /// Job configuration.
+    pub conf: &'a JobConf,
+    /// Workload description.
+    pub spec: &'a JobSpec,
+    /// CPU cost model.
+    pub costs: &'a CostModel,
+    /// Network protocol model in effect.
+    pub protocol: ProtocolModel,
+    /// Shuffle engine behaviour (TCP vs RDMA/MRoIB).
+    pub shuffle_model: ShuffleModel,
+    /// Map output registry + page-cache model.
+    pub registry: &'a mut ShuffleRegistry,
+    /// Signals raised during this dispatch.
+    pub notes: &'a mut Vec<Note>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trips() {
+        for task in [0u32, 1, 7, 4095] {
+            for stage in [Stage::Jvm, Stage::FetchNet, Stage::ReduceOutWrite] {
+                for seq in [0u32, 1, u32::MAX] {
+                    let t = tag(task, stage, seq);
+                    assert_eq!(untag(t), Some((task, stage, seq)));
+                    assert_ne!(t, SINK_TAG);
+                }
+            }
+        }
+        assert_eq!(untag(SINK_TAG), None);
+    }
+
+    #[test]
+    fn stage_bytes_round_trip() {
+        for v in 1..=14u8 {
+            assert_eq!(Stage::from_u8(v).to_u8(), v);
+        }
+    }
+}

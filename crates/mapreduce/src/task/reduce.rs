@@ -1,0 +1,376 @@
+//! Reduce task state machine.
+//!
+//! A reducer's life: JVM start → shuffle (fetch every map's partition
+//! segment with up to `mapred.reduce.parallel.copies` concurrent fetches,
+//! spilling to disk when the in-memory buffer fills) → final merge →
+//! the reduce function → output (discarded by `NullOutputFormat`).
+//!
+//! Each fetch is a pipeline: an uncached fraction of the segment is read
+//! from the source node's disks, the bytes cross the network as one flow,
+//! and — on the socket path — both endpoints pay protocol CPU. The
+//! RDMA/MRoIB engine skips the CPU charge and overlaps merging (see
+//! [`crate::shuffle::rdma`]).
+
+use std::collections::{HashMap, VecDeque};
+
+use cluster::IoKind;
+use simcore::time::SimTime;
+use simcore::units::ByteSize;
+use simnet::NodeId;
+
+use super::{tag, Env, Note, Stage, SINK_TAG};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    Jvm,
+    Shuffling,
+    MergeRead,
+    MergeCpu,
+    ReduceCpu,
+    OutWrite,
+    Done,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fetch {
+    src: usize,
+    bytes: u64,
+    records: u64,
+}
+
+/// A reduce task in flight.
+pub(crate) struct ReduceTask {
+    /// Reduce index.
+    pub index: u32,
+    /// Global task id (`num_maps + index`).
+    pub task_id: u32,
+    /// Slave node.
+    pub node: usize,
+    /// Launch time.
+    pub start: SimTime,
+    /// Completion time.
+    pub finish: Option<SimTime>,
+    /// When the last fetch landed.
+    pub shuffle_end: Option<SimTime>,
+    state: State,
+    num_maps: u32,
+    enqueued: Vec<bool>,
+    pending: VecDeque<u32>,
+    in_flight: u32,
+    fetched_maps: u32,
+    next_seq: u32,
+    fetches: HashMap<u32, Fetch>,
+    mem_bytes: u64,
+    spilled_bytes: u64,
+    spills_outstanding: u32,
+    input_bytes: u64,
+    input_records: u64,
+    /// Bytes of reduce output to write (0 for NullOutputFormat).
+    output_write_bytes: u64,
+    /// Deterministic per-task runtime variability factor.
+    jitter: f64,
+}
+
+impl ReduceTask {
+    /// Create the task and submit its JVM start.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch(
+        index: u32,
+        task_id: u32,
+        node: usize,
+        num_maps: u32,
+        output_write_bytes: u64,
+        jitter: f64,
+        env: &mut Env<'_>,
+    ) -> ReduceTask {
+        let task = ReduceTask {
+            index,
+            task_id,
+            node,
+            start: env.now,
+            finish: None,
+            shuffle_end: None,
+            state: State::Jvm,
+            num_maps,
+            enqueued: vec![false; num_maps as usize],
+            pending: VecDeque::new(),
+            in_flight: 0,
+            fetched_maps: 0,
+            next_seq: 0,
+            fetches: HashMap::new(),
+            mem_bytes: 0,
+            spilled_bytes: 0,
+            spills_outstanding: 0,
+            input_bytes: 0,
+            input_records: 0,
+            output_write_bytes,
+            jitter,
+        };
+        env.cpu.submit(
+            env.now,
+            node,
+            env.costs.jvm_startup_s * jitter,
+            tag(task_id, Stage::Jvm, 0),
+        );
+        task
+    }
+
+    /// The engine calls this when a map output commits (and once per
+    /// already-committed map right after the reducer's JVM starts).
+    pub fn on_map_output(&mut self, map: u32, env: &mut Env<'_>) {
+        if self.enqueued[map as usize] {
+            return;
+        }
+        self.enqueued[map as usize] = true;
+        self.pending.push_back(map);
+        if self.state == State::Shuffling {
+            self.start_fetches(env);
+        }
+    }
+
+    /// Handle a completion routed to this task.
+    pub fn on_event(&mut self, stage: Stage, seq: u32, env: &mut Env<'_>) {
+        match (self.state, stage) {
+            (State::Jvm, Stage::Jvm) => {
+                self.state = State::Shuffling;
+                // Pick up everything committed before we started.
+                for map in 0..self.num_maps {
+                    if env.registry.output(map).is_some() {
+                        self.on_map_output(map, env);
+                    }
+                }
+                self.start_fetches(env);
+                self.maybe_finish_shuffle(env);
+            }
+            (State::Shuffling, Stage::FetchSrcRead) => {
+                let f = self.fetches[&seq];
+                self.start_flow(seq, f, env);
+            }
+            (State::Shuffling, Stage::FetchNet) => {
+                let f = self.fetches[&seq];
+                let remote = f.src != self.node;
+                if remote && env.shuffle_model.charges_protocol_cpu {
+                    let cost = env.protocol.cpu_seconds_for(f.bytes);
+                    // Sender side is cheap: the shuffle server responds
+                    // with sendfile(2), so the payload never crosses the
+                    // sender's user space.
+                    let send_cost = cost * 0.25;
+                    env.cpu.submit(env.now, f.src, send_cost, SINK_TAG);
+                    env.counters.protocol_cpu_seconds += cost + send_cost;
+                    // Receiver side: the fetch isn't done until the socket
+                    // stack has copied the payload up.
+                    env.cpu.submit(
+                        env.now,
+                        self.node,
+                        cost,
+                        tag(self.task_id, Stage::FetchCpu, seq),
+                    );
+                } else {
+                    self.finish_fetch(seq, env);
+                }
+            }
+            (State::Shuffling, Stage::FetchCpu) => {
+                self.finish_fetch(seq, env);
+            }
+            (_, Stage::ReduceSpillWrite) => {
+                self.spills_outstanding -= 1;
+                if self.state == State::Shuffling {
+                    // Backpressure released: resume fetching.
+                    self.start_fetches(env);
+                }
+                self.maybe_finish_shuffle(env);
+            }
+            (State::MergeRead, Stage::ReduceMergeRead) => {
+                // Spilled shuffle segments are deleted after the merge.
+                env.disk.discard_writeback(
+                    self.node,
+                    ByteSize::from_bytes(self.spilled_bytes),
+                );
+                self.state = State::MergeCpu;
+                self.submit_merge_cpu(env);
+            }
+            (State::MergeCpu, Stage::ReduceMergeCpu) => {
+                self.state = State::ReduceCpu;
+                let work = env.costs.reduce(
+                    self.input_records,
+                    self.input_bytes,
+                    env.spec.data_type.cpu_factor(),
+                ) * self.jitter
+                    * (1.0 - env.shuffle_model.reduce_overlap);
+                env.counters.cpu_core_seconds += work;
+                env.counters.reduce_input_records += self.input_records;
+                env.cpu.submit(
+                    env.now,
+                    self.node,
+                    work,
+                    tag(self.task_id, Stage::ReduceCpu, 0),
+                );
+            }
+            (State::ReduceCpu, Stage::ReduceCpu) => {
+                if self.output_write_bytes > 0 {
+                    self.state = State::OutWrite;
+                    env.counters.disk_write_bytes += self.output_write_bytes;
+                    env.disk.submit_cached(
+                        env.now,
+                        self.node,
+                        ByteSize::from_bytes(self.output_write_bytes),
+                        IoKind::Write,
+                        tag(self.task_id, Stage::ReduceOutWrite, 0),
+                    );
+                } else {
+                    self.complete(env);
+                }
+            }
+            (State::OutWrite, Stage::ReduceOutWrite) => {
+                self.complete(env);
+            }
+            (state, stage) => panic!(
+                "reduce {}: unexpected {stage:?} in {state:?}",
+                self.index
+            ),
+        }
+    }
+
+    fn start_fetches(&mut self, env: &mut Env<'_>) {
+        // Merge backpressure (mapred.job.shuffle.merge.percent): while an
+        // in-memory merge is draining to disk, the fetchers stall.
+        if self.spills_outstanding > 0 {
+            return;
+        }
+        while self.in_flight < env.conf.shuffle_parallel_copies {
+            let Some(map) = self.pending.pop_front() else {
+                break;
+            };
+            let out = env.registry.output(map).expect("enqueued output exists");
+            // Empty partitions still carry their IFile segment overhead
+            // (EOF marker + checksum) and are fetched like any other --
+            // Hadoop's fetcher always requests every assigned segment.
+            let bytes = out.partition_bytes[self.index as usize];
+            let records = out.partition_records[self.index as usize];
+            let src = out.node;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let fetch = Fetch { src, bytes, records };
+            self.fetches.insert(seq, fetch);
+            self.in_flight += 1;
+
+            let disk_bytes =
+                (bytes as f64 * env.registry.disk_miss_fraction(src)) as u64;
+            if disk_bytes > 0 {
+                env.counters.disk_read_bytes += disk_bytes;
+                env.disk.submit(
+                    env.now,
+                    src,
+                    ByteSize::from_bytes(disk_bytes),
+                    IoKind::Read,
+                    tag(self.task_id, Stage::FetchSrcRead, seq),
+                );
+            } else {
+                self.start_flow(seq, fetch, env);
+            }
+        }
+        self.maybe_finish_shuffle(env);
+    }
+
+    fn start_flow(&mut self, seq: u32, f: Fetch, env: &mut Env<'_>) {
+        env.net.start_flow(
+            env.now,
+            NodeId(f.src),
+            NodeId(self.node),
+            ByteSize::from_bytes(f.bytes),
+            tag(self.task_id, Stage::FetchNet, seq),
+        );
+    }
+
+    fn finish_fetch(&mut self, seq: u32, env: &mut Env<'_>) {
+        let f = self.fetches.remove(&seq).expect("fetch exists");
+        self.in_flight -= 1;
+        self.fetched_maps += 1;
+        self.shuffle_end = Some(env.now);
+        env.counters.shuffled_fetches += 1;
+        if f.src == self.node {
+            env.counters.local_shuffle_bytes += f.bytes;
+        } else {
+            env.counters.remote_shuffle_bytes += f.bytes;
+        }
+        self.input_bytes += f.bytes;
+        self.input_records += f.records;
+        self.mem_bytes += f.bytes;
+
+        let buffer = (env.conf.shuffle_buffer.as_bytes() as f64
+            * env.shuffle_model.buffer_boost) as u64;
+        if self.mem_bytes >= buffer {
+            // In-memory segments merge onto disk.
+            let bytes = self.mem_bytes;
+            self.mem_bytes = 0;
+            self.spilled_bytes += bytes;
+            self.spills_outstanding += 1;
+            env.counters.disk_write_bytes += bytes;
+            env.counters.spilled_records_reduce +=
+                bytes / env.spec.record_ifile_len().max(1);
+            env.disk.submit_cached(
+                env.now,
+                self.node,
+                ByteSize::from_bytes(bytes),
+                IoKind::Write,
+                tag(self.task_id, Stage::ReduceSpillWrite, 0),
+            );
+        }
+        self.start_fetches(env);
+    }
+
+    fn maybe_finish_shuffle(&mut self, env: &mut Env<'_>) {
+        if self.state != State::Shuffling
+            || self.fetched_maps < self.num_maps
+            || self.spills_outstanding != 0
+        {
+            return;
+        }
+        // Final merge: only the un-overlapped remainder of the spilled
+        // data still needs to come back from disk.
+        let read_back = (self.spilled_bytes as f64
+            * (1.0 - env.shuffle_model.merge_overlap)) as u64;
+        if read_back > 0 {
+            self.state = State::MergeRead;
+            env.counters.disk_read_bytes += read_back;
+            env.disk.submit_cached(
+                env.now,
+                self.node,
+                ByteSize::from_bytes(read_back),
+                IoKind::Read,
+                tag(self.task_id, Stage::ReduceMergeRead, 0),
+            );
+        } else {
+            self.state = State::MergeCpu;
+            self.submit_merge_cpu(env);
+        }
+    }
+
+    fn submit_merge_cpu(&mut self, env: &mut Env<'_>) {
+        let merged = (self.input_bytes as f64
+            * (1.0 - env.shuffle_model.merge_overlap)) as u64;
+        let work = env.costs.merge(merged) * self.jitter;
+        env.counters.cpu_core_seconds += work;
+        env.cpu.submit(
+            env.now,
+            self.node,
+            work,
+            tag(self.task_id, Stage::ReduceMergeCpu, 0),
+        );
+    }
+
+    fn complete(&mut self, env: &mut Env<'_>) {
+        self.state = State::Done;
+        self.finish = Some(env.now);
+        env.counters.reduces_completed += 1;
+        env.notes.push(Note::TaskFinished {
+            is_map: false,
+            node: self.node,
+        });
+    }
+
+    /// True once the reduce completed.
+    pub fn is_done(&self) -> bool {
+        self.state == State::Done
+    }
+}

@@ -1,0 +1,285 @@
+//! Feature-level engine tests: output formats, ablation knobs, cost
+//! overrides, and scheduler behaviour observable from job results.
+
+use cluster::NodeSpec;
+use mapreduce::conf::{EngineKind, ShuffleEngineKind};
+use mapreduce::costs::CostModel;
+use mapreduce::engine::{run_job, Engine};
+use mapreduce::io::DataType;
+use mapreduce::job::JobSpec;
+use mapreduce::shuffle::rdma::ShuffleModel;
+use mapreduce::HashPartitionerFactory;
+use simnet::Interconnect;
+
+fn base_spec() -> JobSpec {
+    let mut spec = JobSpec {
+        key_size: 1024,
+        value_size: 1024,
+        pairs_per_map: 20_000,
+        data_type: DataType::BytesWritable,
+        ..JobSpec::default()
+    };
+    spec.conf.num_maps = 4;
+    spec.conf.num_reduces = 2;
+    spec
+}
+
+#[test]
+fn local_output_format_writes_and_slows() {
+    let null_out = run_job(
+        base_spec(),
+        &HashPartitionerFactory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    );
+    let mut spec = base_spec();
+    spec.output_write_amplification = 1.0; // LocalFileOutputFormat
+    let file_out = run_job(
+        spec,
+        &HashPartitionerFactory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    );
+    assert!(
+        file_out.counters.disk_write_bytes > null_out.counters.disk_write_bytes,
+        "writing output must add disk traffic"
+    );
+    assert!(
+        file_out.job_time >= null_out.job_time,
+        "writing output cannot be faster than discarding it"
+    );
+}
+
+#[test]
+fn cost_model_override_scales_job_time() {
+    let spec = base_spec();
+    let factory = HashPartitionerFactory;
+    let baseline = Engine::new(
+        spec.clone(),
+        &factory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    )
+    .run();
+
+    let mut slow_costs = CostModel::calibrated();
+    slow_costs.map_cpu_per_mib *= 3.0;
+    slow_costs.reduce_cpu_per_mib *= 3.0;
+    let mut engine = Engine::new(
+        spec,
+        &factory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    );
+    engine.set_cost_model(slow_costs);
+    let slowed = engine.run();
+    assert!(
+        slowed.job_time.as_secs_f64() > baseline.job_time.as_secs_f64() * 1.5,
+        "3x CPU costs must slow the job substantially: {} vs {}",
+        slowed.job_time.as_secs_f64(),
+        baseline.job_time.as_secs_f64()
+    );
+}
+
+#[test]
+fn disabling_page_cache_slows_io_heavy_jobs() {
+    let mut spec = base_spec();
+    spec.pairs_per_map = 200_000; // ~800 MiB per map: real spill pressure
+    let factory = HashPartitionerFactory;
+    let cached = Engine::new(
+        spec.clone(),
+        &factory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::IpoibQdr,
+    )
+    .run();
+    let mut engine = Engine::new(
+        spec,
+        &factory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::IpoibQdr,
+    );
+    engine.disable_page_cache();
+    let raw = engine.run();
+    assert!(
+        raw.job_time > cached.job_time,
+        "synchronous disk I/O must cost time: {} vs {}",
+        raw.job_time.as_secs_f64(),
+        cached.job_time.as_secs_f64()
+    );
+}
+
+#[test]
+fn shuffle_model_override_controls_overlap() {
+    let spec = base_spec();
+    let factory = HashPartitionerFactory;
+    let mut no_overlap = ShuffleModel::for_kind(ShuffleEngineKind::Tcp);
+    no_overlap.merge_overlap = 0.0;
+    let mut engine = Engine::new(
+        spec.clone(),
+        &factory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    );
+    engine.set_shuffle_model(no_overlap);
+    let serial = engine.run();
+
+    let mut full_overlap = ShuffleModel::for_kind(ShuffleEngineKind::Tcp);
+    full_overlap.merge_overlap = 1.0;
+    let mut engine = Engine::new(
+        spec,
+        &factory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    );
+    engine.set_shuffle_model(full_overlap);
+    let overlapped = engine.run();
+    assert!(overlapped.job_time <= serial.job_time);
+}
+
+#[test]
+fn yarn_places_tasks_on_all_nodes() {
+    let mut spec = base_spec();
+    spec.conf.engine = EngineKind::Yarn;
+    spec.conf.num_maps = 8;
+    spec.conf.num_reduces = 4;
+    let r = run_job(
+        spec,
+        &HashPartitionerFactory,
+        NodeSpec::westmere(),
+        4,
+        Interconnect::GigE10,
+    );
+    let mut nodes_used: Vec<usize> = r.tasks.iter().map(|t| t.node).collect();
+    nodes_used.sort_unstable();
+    nodes_used.dedup();
+    assert_eq!(nodes_used, vec![0, 1, 2, 3], "round-robin spread");
+}
+
+#[test]
+fn stampede_nodes_run_faster_than_westmere() {
+    let time_on = |node: NodeSpec| {
+        run_job(
+            base_spec(),
+            &HashPartitionerFactory,
+            node,
+            2,
+            Interconnect::IpoibFdr,
+        )
+        .job_time
+        .as_secs_f64()
+    };
+    let westmere = time_on(NodeSpec::westmere());
+    let stampede = time_on(NodeSpec::stampede());
+    assert!(
+        stampede < westmere,
+        "Sandy Bridge nodes ({stampede}) must beat Westmere ({westmere})"
+    );
+}
+
+#[test]
+fn text_jobs_pay_the_serialization_premium() {
+    // Same record count: Text moves slightly fewer bytes but pays more
+    // CPU per byte; the job should not be dramatically different, and the
+    // engine must track the type factor in the counters.
+    let bytes = run_job(
+        base_spec(),
+        &HashPartitionerFactory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::IpoibQdr,
+    );
+    let mut spec = base_spec();
+    spec.data_type = DataType::Text;
+    let text = run_job(
+        spec,
+        &HashPartitionerFactory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::IpoibQdr,
+    );
+    assert!(text.counters.map_output_materialized_bytes < bytes.counters.map_output_materialized_bytes);
+    assert!(text.counters.cpu_core_seconds > bytes.counters.cpu_core_seconds);
+}
+
+#[test]
+fn injected_failures_are_retried_and_the_job_still_completes() {
+    let mut spec = base_spec();
+    spec.conf.fail_first_attempt_maps = vec![0, 2];
+    spec.conf.fail_first_attempt_reduces = vec![1];
+    let r = run_job(
+        spec,
+        &HashPartitionerFactory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    );
+    assert_eq!(r.counters.failed_task_attempts, 3);
+    assert_eq!(r.counters.maps_completed, 4);
+    assert_eq!(r.counters.reduces_completed, 2);
+    // Re-executed work is not double counted.
+    assert_eq!(r.counters.map_output_records, 4 * 20_000);
+    assert_eq!(r.counters.reduce_input_records, 4 * 20_000);
+}
+
+#[test]
+fn failures_cost_time_when_slots_are_saturated() {
+    // 8 maps on 2 nodes x 2 slots = 2 full waves; a failed attempt forces
+    // a third wave for the victim, delaying the whole job. (With idle
+    // slots a failure can even *help* slightly by staggering the shuffle
+    // — real straggler physics — so the saturated case is the right one
+    // to assert on.)
+    let mut clean_spec = base_spec();
+    clean_spec.conf.num_maps = 8;
+    let clean = run_job(
+        clean_spec.clone(),
+        &HashPartitionerFactory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    );
+    let mut spec = clean_spec;
+    spec.conf.fail_first_attempt_maps = vec![0];
+    let failed = run_job(
+        spec,
+        &HashPartitionerFactory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    );
+    assert!(
+        failed.job_time > clean.job_time,
+        "a re-executed map must delay the saturated job: {} vs {}",
+        failed.job_time.as_secs_f64(),
+        clean.job_time.as_secs_f64()
+    );
+    assert_eq!(failed.counters.reduce_input_records, clean.counters.reduce_input_records);
+}
+
+#[test]
+fn failure_injection_is_deterministic() {
+    let run_once = || {
+        let mut spec = base_spec();
+        spec.conf.fail_first_attempt_maps = vec![1];
+        spec.conf.fail_first_attempt_reduces = vec![0];
+        run_job(
+            spec,
+            &HashPartitionerFactory,
+            NodeSpec::westmere(),
+            2,
+            Interconnect::IpoibQdr,
+        )
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.job_time, b.job_time);
+    assert_eq!(a.counters, b.counters);
+}

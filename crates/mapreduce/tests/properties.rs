@@ -1,0 +1,110 @@
+//! Property-based tests: engine invariants over arbitrary small jobs.
+
+use proptest::prelude::*;
+
+use cluster::NodeSpec;
+use mapreduce::conf::EngineKind;
+use mapreduce::engine::run_job;
+use mapreduce::io::DataType;
+use mapreduce::job::JobSpec;
+use mapreduce::HashPartitionerFactory;
+use simnet::Interconnect;
+
+fn spec(
+    maps: u32,
+    reduces: u32,
+    pairs: u64,
+    kv: usize,
+    yarn: bool,
+    text: bool,
+) -> JobSpec {
+    let mut s = JobSpec {
+        key_size: kv,
+        value_size: kv,
+        pairs_per_map: pairs,
+        data_type: if text { DataType::Text } else { DataType::BytesWritable },
+        ..JobSpec::default()
+    };
+    s.conf.num_maps = maps;
+    s.conf.num_reduces = reduces;
+    if yarn {
+        s.conf.engine = EngineKind::Yarn;
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any small job completes with conserved record counts, regardless
+    /// of topology, engine, data type, or geometry.
+    #[test]
+    fn jobs_complete_and_conserve_records(
+        maps in 1u32..6,
+        reduces in 1u32..6,
+        pairs in 1u64..20_000,
+        kv in 8usize..2048,
+        slaves in 1usize..4,
+        yarn in any::<bool>(),
+        text in any::<bool>(),
+        ic_idx in 0usize..5,
+    ) {
+        let ic = Interconnect::ALL[ic_idx];
+        let s = spec(maps, reduces, pairs, kv, yarn, text);
+        let r = run_job(s, &HashPartitionerFactory, NodeSpec::westmere(), slaves, ic);
+        prop_assert_eq!(r.counters.maps_completed, u64::from(maps));
+        prop_assert_eq!(r.counters.reduces_completed, u64::from(reduces));
+        prop_assert_eq!(r.counters.map_output_records, u64::from(maps) * pairs);
+        prop_assert_eq!(r.counters.reduce_input_records, u64::from(maps) * pairs);
+        prop_assert_eq!(
+            r.counters.total_shuffle_bytes(),
+            r.counters.map_output_materialized_bytes
+        );
+        prop_assert!(r.job_time.as_secs_f64() > 0.0);
+        // Timings are well-formed.
+        for t in &r.tasks {
+            prop_assert!(t.finish >= t.start);
+        }
+    }
+
+    /// Adding shuffle volume never makes the job faster (monotonicity),
+    /// holding everything else fixed.
+    #[test]
+    fn job_time_monotone_in_volume(pairs in 1_000u64..30_000, extra in 1_000u64..30_000) {
+        let t = |p: u64| {
+            run_job(
+                spec(4, 2, p, 512, false, false),
+                &HashPartitionerFactory,
+                NodeSpec::westmere(),
+                2,
+                Interconnect::GigE1,
+            )
+            .job_time
+        };
+        prop_assert!(t(pairs + extra) >= t(pairs));
+    }
+
+    /// A strictly better network never hurts, for arbitrary small jobs.
+    #[test]
+    fn network_upgrade_never_hurts(
+        maps in 1u32..5,
+        reduces in 1u32..5,
+        pairs in 1_000u64..40_000,
+    ) {
+        let t = |ic: Interconnect| {
+            run_job(
+                spec(maps, reduces, pairs, 1024, false, false),
+                &HashPartitionerFactory,
+                NodeSpec::westmere(),
+                2,
+                ic,
+            )
+            .job_time
+            .as_secs_f64()
+        };
+        let slow = t(Interconnect::GigE1);
+        let fast = t(Interconnect::IpoibQdr);
+        // Allow sub-percent scheduling noise from heartbeat quantization.
+        prop_assert!(fast <= slow * 1.01, "fast {} slow {}", fast, slow);
+    }
+}

@@ -1,0 +1,32 @@
+//! # simcore — discrete-event simulation kernel
+//!
+//! The foundation of the `hadoop-mr-microbench` simulator stack:
+//!
+//! * [`time`] — nanosecond-resolution simulated clock types.
+//! * [`event`] — a deterministic, cancellable event queue with FIFO
+//!   tie-breaking.
+//! * [`rng`] — reproducible random streams, including a bit-exact port of
+//!   `java.util.Random` (the paper's MR-RAND partitioner depends on its
+//!   semantics).
+//! * [`units`] — byte sizes and data rates with Hadoop's unit conventions.
+//! * [`stats`] — online statistics, histograms, time series, and rate
+//!   integration for resource-utilization reporting.
+//!
+//! Everything in this crate is deterministic: no wall-clock, no OS entropy,
+//! no thread scheduling effects. A simulation driven from these primitives
+//! is a pure function of its configuration and master seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use event::{EventId, EventQueue};
+pub use rng::{JavaRandom, SeedFactory, SplitMix64, Xoshiro256pp};
+pub use stats::{Histogram, OnlineStats, RateIntegrator, Sample, TimeSeries};
+pub use time::{SimDuration, SimTime};
+pub use units::{ByteSize, Rate, GIB, KIB, MIB};

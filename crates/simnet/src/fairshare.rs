@@ -1,0 +1,238 @@
+//! Max-min fair bandwidth allocation.
+//!
+//! The flow-level network model assigns each active flow the rate TCP (or
+//! the IB hardware arbiter) would converge to: the *max-min fair*
+//! allocation subject to per-NIC egress/ingress capacities and an optional
+//! aggregate fabric capacity. The classic progressive-filling algorithm is
+//! used: repeatedly find the most-contended resource, freeze all flows
+//! crossing it at its fair share, subtract, and continue.
+
+/// A flow as the solver sees it: which resources it crosses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Source node index (egress resource).
+    pub src: usize,
+    /// Destination node index (ingress resource).
+    pub dst: usize,
+}
+
+/// Compute max-min fair rates (bytes/s) for `flows`.
+///
+/// * `egress[n]` / `ingress[n]` — per-direction NIC capacities.
+/// * `fabric` — optional aggregate capacity shared by all flows.
+///
+/// Flows with `src == dst` must be filtered out by the caller (loopback
+/// does not cross the fabric).
+pub fn max_min_rates(
+    flows: &[FlowSpec],
+    egress: &[f64],
+    ingress: &[f64],
+    fabric: Option<f64>,
+) -> Vec<f64> {
+    let nf = flows.len();
+    if nf == 0 {
+        return Vec::new();
+    }
+    let n = egress.len();
+    assert_eq!(n, ingress.len(), "egress/ingress length mismatch");
+
+    // Resource layout: [0,n) egress, [n,2n) ingress, optional 2n fabric.
+    let n_res = 2 * n + usize::from(fabric.is_some());
+    let mut remaining = vec![0.0f64; n_res];
+    remaining[..n].copy_from_slice(egress);
+    remaining[n..2 * n].copy_from_slice(ingress);
+    if let Some(f) = fabric {
+        remaining[2 * n] = f;
+    }
+
+    let mut unfrozen_count = vec![0usize; n_res];
+    let resources_of = |f: &FlowSpec| -> [usize; 3] {
+        let fab = if fabric.is_some() { 2 * n } else { usize::MAX };
+        [f.src, n + f.dst, fab]
+    };
+    for f in flows {
+        assert!(f.src != f.dst, "loopback flows must not enter the solver");
+        assert!(f.src < n && f.dst < n, "flow references unknown node");
+        for r in resources_of(f) {
+            if r != usize::MAX {
+                unfrozen_count[r] += 1;
+            }
+        }
+    }
+
+    let mut rates = vec![f64::NAN; nf];
+    let mut frozen = vec![false; nf];
+    let mut n_frozen = 0;
+
+    while n_frozen < nf {
+        // Find the bottleneck: the resource with the smallest fair share.
+        let mut best_share = f64::INFINITY;
+        let mut best_res = usize::MAX;
+        for (r, &cnt) in unfrozen_count.iter().enumerate() {
+            if cnt > 0 {
+                let share = (remaining[r] / cnt as f64).max(0.0);
+                if share < best_share {
+                    best_share = share;
+                    best_res = r;
+                }
+            }
+        }
+        if best_res == usize::MAX {
+            // No contended resources remain (shouldn't happen while flows
+            // are unfrozen), freeze the rest at zero defensively.
+            for (i, fz) in frozen.iter_mut().enumerate() {
+                if !*fz {
+                    rates[i] = 0.0;
+                }
+            }
+            break;
+        }
+
+        // Freeze every unfrozen flow crossing the bottleneck.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let crosses = resources_of(f).contains(&best_res);
+            if crosses {
+                frozen[i] = true;
+                n_frozen += 1;
+                rates[i] = best_share;
+                for r in resources_of(f) {
+                    if r != usize::MAX {
+                        remaining[r] = (remaining[r] - best_share).max(0.0);
+                        unfrozen_count[r] -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck() {
+        let rates = max_min_rates(
+            &[FlowSpec { src: 0, dst: 1 }],
+            &[100.0, 100.0],
+            &[80.0, 80.0],
+            None,
+        );
+        assert!(close(rates[0], 80.0), "{rates:?}");
+    }
+
+    #[test]
+    fn equal_flows_share_equally() {
+        let flows = vec![FlowSpec { src: 0, dst: 2 }, FlowSpec { src: 1, dst: 2 }];
+        let rates = max_min_rates(&flows, &[100.0; 3], &[100.0; 3], None);
+        assert!(close(rates[0], 50.0) && close(rates[1], 50.0), "{rates:?}");
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_uncontended() {
+        // Flows: A: 0->2, B: 1->2, C: 1->3.
+        // Ingress 2 is shared by A and B; egress 1 is shared by B and C.
+        // Max-min: bottleneck ingress2 share 50 freezes A,B; then C gets
+        // egress1's leftover 50... with all caps 100: first bottleneck is
+        // ingress2 (2 flows -> 50) and egress1 (2 flows -> 50) tie; after
+        // freezing, C gets min(remaining egress1=50, ingress3=100) = 50.
+        let flows = vec![
+            FlowSpec { src: 0, dst: 2 },
+            FlowSpec { src: 1, dst: 2 },
+            FlowSpec { src: 1, dst: 3 },
+        ];
+        let rates = max_min_rates(&flows, &[100.0; 4], &[100.0; 4], None);
+        assert!(close(rates[0], 50.0), "{rates:?}");
+        assert!(close(rates[1], 50.0), "{rates:?}");
+        assert!(close(rates[2], 50.0), "{rates:?}");
+    }
+
+    #[test]
+    fn asymmetric_capacities() {
+        // Fast sender into slow receiver plus a second fast pair.
+        let flows = vec![FlowSpec { src: 0, dst: 1 }, FlowSpec { src: 2, dst: 3 }];
+        let egress = [1000.0, 1000.0, 1000.0, 1000.0];
+        let ingress = [1000.0, 10.0, 1000.0, 1000.0];
+        let rates = max_min_rates(&flows, &egress, &ingress, None);
+        assert!(close(rates[0], 10.0), "{rates:?}");
+        assert!(close(rates[1], 1000.0), "{rates:?}");
+    }
+
+    #[test]
+    fn fabric_cap_limits_aggregate() {
+        let flows = vec![
+            FlowSpec { src: 0, dst: 2 },
+            FlowSpec { src: 1, dst: 3 },
+        ];
+        let rates = max_min_rates(&flows, &[100.0; 4], &[100.0; 4], Some(120.0));
+        let total: f64 = rates.iter().sum();
+        assert!(total <= 120.0 + 1e-6, "{rates:?}");
+        assert!(close(rates[0], 60.0) && close(rates[1], 60.0), "{rates:?}");
+    }
+
+    #[test]
+    fn incast_shares_receiver() {
+        // 7 senders to one receiver: classic shuffle incast.
+        let flows: Vec<FlowSpec> = (1..8).map(|s| FlowSpec { src: s, dst: 0 }).collect();
+        let rates = max_min_rates(&flows, &[950.0; 8], &[950.0; 8], None);
+        for r in &rates {
+            assert!(close(*r, 950.0 / 7.0), "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn work_conservation_and_feasibility() {
+        // Random-ish topology, checked for the two fairness invariants:
+        // feasibility (no resource over capacity) and work conservation
+        // (every flow is bottlenecked somewhere).
+        let flows = vec![
+            FlowSpec { src: 0, dst: 1 },
+            FlowSpec { src: 0, dst: 2 },
+            FlowSpec { src: 1, dst: 2 },
+            FlowSpec { src: 3, dst: 0 },
+            FlowSpec { src: 2, dst: 0 },
+            FlowSpec { src: 3, dst: 1 },
+        ];
+        let egress = [120.0, 90.0, 200.0, 60.0];
+        let ingress = [80.0, 150.0, 100.0, 70.0];
+        let rates = max_min_rates(&flows, &egress, &ingress, None);
+
+        let mut eg_used = [0.0; 4];
+        let mut in_used = [0.0; 4];
+        for (f, r) in flows.iter().zip(&rates) {
+            eg_used[f.src] += r;
+            in_used[f.dst] += r;
+            assert!(*r > 0.0);
+        }
+        for i in 0..4 {
+            assert!(eg_used[i] <= egress[i] + 1e-6);
+            assert!(in_used[i] <= ingress[i] + 1e-6);
+        }
+        // Work conservation: each flow saturates at least one resource.
+        for (f, r) in flows.iter().zip(&rates) {
+            let eg_full = eg_used[f.src] >= egress[f.src] - 1e-6;
+            let in_full = in_used[f.dst] >= ingress[f.dst] - 1e-6;
+            assert!(eg_full || in_full, "flow {f:?} rate {r} not bottlenecked");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(max_min_rates(&[], &[1.0], &[1.0], None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn rejects_loopback() {
+        let _ = max_min_rates(&[FlowSpec { src: 1, dst: 1 }], &[1.0, 1.0], &[1.0, 1.0], None);
+    }
+}

@@ -1,0 +1,27 @@
+//! # simnet — flow-level network simulator for single-switch clusters
+//!
+//! Models the five interconnect/protocol combinations the paper evaluates
+//! (1 GigE, 10 GigE, IPoIB QDR, IPoIB FDR, RDMA FDR) as flow-level
+//! bandwidth sharing with protocol-specific NIC ceilings, latencies, and
+//! host-CPU costs.
+//!
+//! * [`protocol`] — per-interconnect models, calibrated against the
+//!   paper's own Fig. 7(b) throughput observations.
+//! * [`topology`] — single-switch cluster fabric.
+//! * [`fairshare`] — max-min fair allocation (progressive filling).
+//! * [`network`] — the event-driven flow engine.
+//! * [`monitor`] — 1 Hz per-node throughput sampling (Fig. 7(b)).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fairshare;
+pub mod monitor;
+pub mod network;
+pub mod protocol;
+pub mod topology;
+
+pub use monitor::NetworkMonitor;
+pub use network::{FlowCompletion, FlowId, Network};
+pub use protocol::{Interconnect, ProtocolModel};
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,109 @@
+//! Per-node network throughput monitoring.
+//!
+//! Reproduces the measurement the paper plots in Fig. 7(b): megabytes
+//! received per second on one slave node, sampled once per second over the
+//! course of the job.
+
+use simcore::stats::TimeSeries;
+use simcore::time::{SimDuration, SimTime};
+
+use crate::network::Network;
+use crate::topology::NodeId;
+
+/// Samples per-node receive/transmit throughput at a fixed interval.
+pub struct NetworkMonitor {
+    interval: SimDuration,
+    next_sample: SimTime,
+    rx: Vec<TimeSeries>,
+    tx: Vec<TimeSeries>,
+}
+
+impl NetworkMonitor {
+    /// Monitor `n_nodes` hosts, sampling every `interval`.
+    pub fn new(n_nodes: usize, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        NetworkMonitor {
+            interval,
+            next_sample: SimTime::ZERO + interval,
+            rx: (0..n_nodes).map(|_| TimeSeries::new()).collect(),
+            tx: (0..n_nodes).map(|_| TimeSeries::new()).collect(),
+        }
+    }
+
+    /// When the next sample is due.
+    pub fn next_sample_time(&self) -> SimTime {
+        self.next_sample
+    }
+
+    /// Take a sample if `now` has reached the sampling instant. The caller
+    /// (the simulation driver) must have advanced `network` to `now`.
+    pub fn maybe_sample(&mut self, now: SimTime, network: &mut Network) {
+        while self.next_sample <= now {
+            let at = self.next_sample;
+            let dt = self.interval.as_secs_f64();
+            for node in 0..self.rx.len() {
+                let rx_bytes = network.drain_rx_bytes(NodeId(node), at);
+                let tx_bytes = network.drain_tx_bytes(NodeId(node), at);
+                self.rx[node].push(at, rx_bytes / dt / 1e6);
+                self.tx[node].push(at, tx_bytes / dt / 1e6);
+            }
+            self.next_sample += self.interval;
+        }
+    }
+
+    /// Receive throughput series (MB/s) for `node`.
+    pub fn rx_series(&self, node: NodeId) -> &TimeSeries {
+        &self.rx[node.0]
+    }
+
+    /// Transmit throughput series (MB/s) for `node`.
+    pub fn tx_series(&self, node: NodeId) -> &TimeSeries {
+        &self.tx[node.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Interconnect;
+    use crate::topology::Topology;
+    use simcore::units::ByteSize;
+
+    #[test]
+    fn samples_capture_transfer_rate() {
+        let mut net = Network::new(Topology::single_switch(2, Interconnect::GigE1));
+        let mut mon = NetworkMonitor::new(2, SimDuration::from_secs(1));
+        // 560 MiB at 112 MB/s is about 5.2 s of transfer.
+        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), ByteSize::from_mib(560), 0);
+        loop {
+            let sample_at = mon.next_sample_time();
+            match net.next_event_time() {
+                Some(t) if t <= sample_at => {
+                    let done = net.advance_to(t);
+                    if !done.is_empty() {
+                        break;
+                    }
+                }
+                _ => {
+                    net.advance_to(sample_at);
+                    mon.maybe_sample(sample_at, &mut net);
+                }
+            }
+        }
+        let series = mon.rx_series(NodeId(1));
+        assert!(series.len() >= 5);
+        let peak = series.peak().unwrap();
+        assert!((peak - 112.0).abs() < 2.0, "peak {peak}");
+        // Sender saw the same bytes leave.
+        let tx_peak = mon.tx_series(NodeId(0)).peak().unwrap();
+        assert!((tx_peak - 112.0).abs() < 2.0);
+        // Node 0 received nothing.
+        assert!(mon.rx_series(NodeId(0)).peak().unwrap() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = NetworkMonitor::new(1, SimDuration::ZERO);
+    }
+}

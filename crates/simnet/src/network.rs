@@ -1,0 +1,517 @@
+//! The flow-level network simulation engine.
+//!
+//! [`Network`] tracks a set of point-to-point transfers ("flows") over a
+//! [`Topology`]. Each flow passes through a latency phase (the protocol's
+//! small-message/setup latency) and then a bandwidth phase whose rate is
+//! the max-min fair share given all concurrently active flows. Rates are
+//! recomputed whenever the set of active flows changes, which makes the
+//! model event-driven and exact for piecewise-constant fair sharing.
+//!
+//! Transfers where source and destination are the same host are loopback
+//! copies: they never touch the fabric and run at a fixed memory-copy
+//! rate, mirroring how a Hadoop reducer fetches a map output that lives on
+//! its own node.
+
+use std::collections::HashMap;
+
+use simcore::stats::RateIntegrator;
+use simcore::time::{SimDuration, SimTime};
+use simcore::units::{ByteSize, Rate};
+
+use crate::fairshare::{max_min_rates, FlowSpec};
+use crate::topology::{NodeId, Topology};
+
+/// Handle to an in-flight transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowId(u64);
+
+/// Default loopback (same-host) copy rate: a conservative memory-to-memory
+/// figure that is protocol independent.
+pub const LOOPBACK_RATE_MB_S: f64 = 3000.0;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Phase {
+    /// Waiting out the protocol latency; activates at the given instant.
+    Latent(SimTime),
+    /// Moving bytes at `rate`.
+    Active,
+}
+
+#[derive(Clone, Debug)]
+struct FlowState {
+    src: NodeId,
+    dst: NodeId,
+    total: ByteSize,
+    remaining: f64,
+    rate: f64,
+    phase: Phase,
+    tag: u64,
+}
+
+/// A finished transfer, as reported by [`Network::advance_to`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlowCompletion {
+    /// The flow that finished.
+    pub id: FlowId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Payload size of the whole transfer.
+    pub bytes: ByteSize,
+    /// Caller-supplied correlation tag.
+    pub tag: u64,
+}
+
+/// Flow-level network simulator over a single-switch topology.
+pub struct Network {
+    topology: Topology,
+    flows: HashMap<u64, FlowState>,
+    next_id: u64,
+    clock: SimTime,
+    node_tx: Vec<RateIntegrator>,
+    node_rx: Vec<RateIntegrator>,
+    loopback: Rate,
+    /// Total bytes that have finished transfer, for accounting.
+    delivered: f64,
+}
+
+impl Network {
+    /// A quiet network over `topology`, starting at t = 0.
+    pub fn new(topology: Topology) -> Self {
+        let n = topology.n_nodes();
+        Network {
+            topology,
+            flows: HashMap::new(),
+            next_id: 0,
+            clock: SimTime::ZERO,
+            node_tx: (0..n).map(|_| RateIntegrator::new(SimTime::ZERO)).collect(),
+            node_rx: (0..n).map(|_| RateIntegrator::new(SimTime::ZERO)).collect(),
+            loopback: Rate::from_mb_per_sec(LOOPBACK_RATE_MB_S),
+            delivered: 0.0,
+        }
+    }
+
+    /// Override the loopback copy rate (tests, calibration).
+    pub fn set_loopback_rate(&mut self, rate: Rate) {
+        self.loopback = rate;
+    }
+
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current simulated time of the network clock.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of flows currently latent or active.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total payload bytes fully delivered so far.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered as u64
+    }
+
+    /// Begin a transfer of `bytes` from `src` to `dst` at time `now`.
+    ///
+    /// `tag` is an opaque correlation value handed back on completion.
+    /// `now` must not be earlier than the last event processed.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: ByteSize,
+        tag: u64,
+    ) -> FlowId {
+        assert!(self.topology.contains(src), "unknown src {src}");
+        assert!(self.topology.contains(dst), "unknown dst {dst}");
+        self.integrate_to(now);
+
+        let latency = if src == dst {
+            SimDuration::ZERO
+        } else {
+            self.topology.protocol().msg_latency
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            FlowState {
+                src,
+                dst,
+                total: bytes,
+                remaining: bytes.as_bytes() as f64,
+                rate: 0.0,
+                phase: if latency.is_zero() {
+                    Phase::Active
+                } else {
+                    Phase::Latent(now + latency)
+                },
+                tag,
+            },
+        );
+        self.recompute_rates();
+        FlowId(id)
+    }
+
+    /// The earliest instant at which something happens (an activation or a
+    /// completion), or `None` when the network is idle.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for f in self.flows.values() {
+            let t = match f.phase {
+                Phase::Latent(at) => at,
+                Phase::Active => {
+                    if f.remaining <= completion_eps(f.rate) {
+                        self.clock
+                    } else if f.rate <= 0.0 {
+                        continue;
+                    } else {
+                        // +1 ns guards against float rounding leaving a
+                        // sub-byte residue at the computed instant.
+                        self.clock
+                            + SimDuration::from_secs_f64(f.remaining / f.rate)
+                            + SimDuration::from_nanos(1)
+                    }
+                }
+            };
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        best
+    }
+
+    /// Advance the network clock to `now`, returning every transfer that
+    /// completed at or before `now` (in deterministic flow-id order).
+    ///
+    /// The caller must not skip past events: `now` should be at most
+    /// [`Network::next_event_time`]. Skipping only loses precision, never
+    /// panics.
+    pub fn advance_to(&mut self, now: SimTime) -> Vec<FlowCompletion> {
+        self.integrate_to(now);
+
+        let mut completed: Vec<u64> = Vec::new();
+        let mut activated = false;
+        for (&id, f) in &mut self.flows {
+            match f.phase {
+                Phase::Latent(at) => {
+                    if at <= now {
+                        f.phase = Phase::Active;
+                        activated = true;
+                    }
+                }
+                Phase::Active => {
+                    if f.remaining <= completion_eps(f.rate) {
+                        completed.push(id);
+                    }
+                }
+            }
+        }
+        completed.sort_unstable();
+
+        let mut out = Vec::with_capacity(completed.len());
+        for id in completed {
+            let f = self.flows.remove(&id).expect("completed flow exists");
+            self.delivered += f.total.as_bytes() as f64;
+            out.push(FlowCompletion {
+                id: FlowId(id),
+                src: f.src,
+                dst: f.dst,
+                bytes: f.total,
+                tag: f.tag,
+            });
+        }
+        if activated || !out.is_empty() {
+            self.recompute_rates();
+        }
+        out
+    }
+
+    /// Instantaneous receive rate at `node`.
+    pub fn rx_rate(&self, node: NodeId) -> Rate {
+        Rate::from_bytes_per_sec(self.node_rx[node.0].rate().max(0.0))
+    }
+
+    /// Instantaneous transmit rate at `node`.
+    pub fn tx_rate(&self, node: NodeId) -> Rate {
+        Rate::from_bytes_per_sec(self.node_tx[node.0].rate().max(0.0))
+    }
+
+    /// Bytes received by `node` since the last drain (advances the
+    /// integrator to `now`). Used by 1 Hz resource monitors.
+    pub fn drain_rx_bytes(&mut self, node: NodeId, now: SimTime) -> f64 {
+        self.node_rx[node.0].drain(now)
+    }
+
+    /// Bytes transmitted by `node` since the last drain.
+    pub fn drain_tx_bytes(&mut self, node: NodeId, now: SimTime) -> f64 {
+        self.node_tx[node.0].drain(now)
+    }
+
+    fn integrate_to(&mut self, now: SimTime) {
+        assert!(now >= self.clock, "network clock cannot run backwards");
+        let dt = now.since(self.clock).as_secs_f64();
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                if f.phase == Phase::Active {
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                }
+            }
+        }
+        for ri in &mut self.node_tx {
+            ri.advance(now);
+        }
+        for ri in &mut self.node_rx {
+            ri.advance(now);
+        }
+        self.clock = now;
+    }
+
+    fn recompute_rates(&mut self) {
+        let n = self.topology.n_nodes();
+        let nic = self.topology.nic_rate().as_bytes_per_sec();
+        let egress = vec![nic; n];
+        let ingress = vec![nic; n];
+
+        // Stable order: flow-id order, so rate assignment is deterministic.
+        let mut ids: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.phase == Phase::Active)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+
+        let mut net_ids = Vec::new();
+        let mut specs = Vec::new();
+        for &id in &ids {
+            let f = &self.flows[&id];
+            if f.src == f.dst {
+                // Loopback: fixed memory-copy rate.
+                let rate = self.loopback.as_bytes_per_sec();
+                self.flows.get_mut(&id).unwrap().rate = rate;
+            } else {
+                net_ids.push(id);
+                specs.push(FlowSpec { src: f.src.0, dst: f.dst.0 });
+            }
+        }
+        let rates = max_min_rates(
+            &specs,
+            &egress,
+            &ingress,
+            self.topology.fabric_cap().map(|r| r.as_bytes_per_sec()),
+        );
+        for (&id, &rate) in net_ids.iter().zip(&rates) {
+            self.flows.get_mut(&id).unwrap().rate = rate;
+        }
+        // Latent flows consume nothing.
+        for f in self.flows.values_mut() {
+            if matches!(f.phase, Phase::Latent(_)) {
+                f.rate = 0.0;
+            }
+        }
+
+        // Refresh per-node monitors.
+        let mut tx = vec![0.0; n];
+        let mut rx = vec![0.0; n];
+        for f in self.flows.values() {
+            if f.phase == Phase::Active && f.src != f.dst {
+                tx[f.src.0] += f.rate;
+                rx[f.dst.0] += f.rate;
+            }
+        }
+        let now = self.clock;
+        for (i, r) in tx.into_iter().enumerate() {
+            self.node_tx[i].set_rate(now, r);
+        }
+        for (i, r) in rx.into_iter().enumerate() {
+            self.node_rx[i].set_rate(now, r);
+        }
+    }
+
+    /// Run the network by itself until all flows finish; returns the
+    /// completions in order. Mostly useful in tests — the MapReduce engine
+    /// interleaves its own events.
+    pub fn run_to_idle(&mut self) -> Vec<FlowCompletion> {
+        let mut all = Vec::new();
+        while let Some(t) = self.next_event_time() {
+            all.extend(self.advance_to(t));
+        }
+        all
+    }
+}
+
+/// Bytes of slack below which a flow counts as finished; covers nanosecond
+/// quantization of the completion instant.
+fn completion_eps(rate: f64) -> f64 {
+    (rate * 2e-9).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Interconnect;
+
+    fn net(nodes: usize, ic: Interconnect) -> Network {
+        Network::new(Topology::single_switch(nodes, ic))
+    }
+
+    #[test]
+    fn single_transfer_takes_latency_plus_bandwidth_time() {
+        let mut n = net(2, Interconnect::GigE1);
+        let bytes = ByteSize::from_mib(100);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), bytes, 7);
+        let done = n.run_to_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 7);
+        assert_eq!(done[0].bytes, bytes);
+        let expect = 55e-6 + bytes.as_bytes() as f64 / (112.0 * 1e6);
+        let got = n.now().as_secs_f64();
+        assert!(
+            (got - expect).abs() < 1e-3,
+            "got {got}, expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn two_flows_into_one_receiver_halve() {
+        let mut n = net(3, Interconnect::IpoibQdr);
+        let bytes = ByteSize::from_mib(950); // ~1 s alone
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), bytes, 0);
+        n.start_flow(SimTime::ZERO, NodeId(1), NodeId(2), bytes, 1);
+        n.run_to_idle();
+        // Each flow gets ~475 MB/s, so both finish in ~2.1 s (binary MiB
+        // vs decimal MB accounts for the 1.048 factor).
+        let got = n.now().as_secs_f64();
+        let expect = 2.0 * 950.0 * 1024.0 * 1024.0 / (950.0 * 1e6);
+        assert!((got - expect).abs() < 0.01, "got {got}, expected {expect}");
+    }
+
+    #[test]
+    fn flow_rates_rebalance_after_completion() {
+        let mut n = net(3, Interconnect::GigE10);
+        // Big flow and small flow share the receiver; when the small one
+        // completes, the big one speeds up.
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), ByteSize::from_mib(400), 0);
+        n.start_flow(SimTime::ZERO, NodeId(1), NodeId(2), ByteSize::from_mib(40), 1);
+        // Step through the latency activations until the first completion.
+        let done = loop {
+            let t = n.next_event_time().unwrap();
+            let done = n.advance_to(t);
+            if !done.is_empty() {
+                break done;
+            }
+        };
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+        // Rebalanced: remaining flow now runs at the full ceiling.
+        let r = n.tx_rate(NodeId(0)).as_mb_per_sec();
+        assert!((r - 545.0).abs() < 1.0, "rate after rebalance: {r}");
+        n.run_to_idle();
+        assert_eq!(n.active_flows(), 0);
+    }
+
+    #[test]
+    fn loopback_does_not_touch_nic() {
+        let mut n = net(2, Interconnect::GigE1);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(0), ByteSize::from_mib(300), 0);
+        // NIC monitors see nothing.
+        assert_eq!(n.tx_rate(NodeId(0)).as_mb_per_sec(), 0.0);
+        let done = n.run_to_idle();
+        assert_eq!(done.len(), 1);
+        let t = n.now().as_secs_f64();
+        let expect = 300.0 * 1024.0 * 1024.0 / (3000.0 * 1e6);
+        assert!((t - expect).abs() < 1e-3, "loopback time {t} vs {expect}");
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let mut n = net(2, Interconnect::GigE1);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), ByteSize::from_bytes(1), 0);
+        n.run_to_idle();
+        assert!(n.now().as_secs_f64() >= 55e-6);
+        assert!(n.now().as_secs_f64() < 70e-6);
+    }
+
+    #[test]
+    fn rdma_much_faster_than_ipoib_for_bulk() {
+        let run = |ic: Interconnect| {
+            let mut n = net(2, ic);
+            n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), ByteSize::from_gib(1), 0);
+            n.run_to_idle();
+            n.now().as_secs_f64()
+        };
+        let ipoib = run(Interconnect::IpoibFdr);
+        let rdma = run(Interconnect::RdmaFdr);
+        assert!(
+            rdma < ipoib / 3.0,
+            "rdma {rdma} should be >3x faster than ipoib {ipoib}"
+        );
+    }
+
+    #[test]
+    fn rx_byte_accounting_matches_payload() {
+        let mut n = net(2, Interconnect::GigE10);
+        let payload = ByteSize::from_mib(64);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), payload, 0);
+        n.run_to_idle();
+        let now = n.now();
+        let rx = n.drain_rx_bytes(NodeId(1), now);
+        assert!(
+            (rx - payload.as_bytes() as f64).abs() < 1024.0,
+            "rx {rx} vs payload {}",
+            payload.as_bytes()
+        );
+        assert_eq!(n.delivered_bytes(), payload.as_bytes());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut n = net(4, Interconnect::IpoibQdr);
+            for i in 0..8u64 {
+                n.start_flow(
+                    SimTime::from_nanos(i * 1000),
+                    NodeId((i % 4) as usize),
+                    NodeId(((i + 1) % 4) as usize),
+                    ByteSize::from_mib(10 + i * 3),
+                    i,
+                );
+            }
+            let done = n.run_to_idle();
+            (n.now(), done.iter().map(|c| c.tag).collect::<Vec<_>>())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn all_to_all_shuffle_pattern_finishes() {
+        // 4 nodes, every node sends to every other: 12 flows.
+        let mut n = net(4, Interconnect::GigE1);
+        for s in 0..4 {
+            for d in 0..4 {
+                if s != d {
+                    n.start_flow(
+                        SimTime::ZERO,
+                        NodeId(s),
+                        NodeId(d),
+                        ByteSize::from_mib(112),
+                        0,
+                    );
+                }
+            }
+        }
+        let done = n.run_to_idle();
+        assert_eq!(done.len(), 12);
+        // Symmetric all-to-all: each NIC carries 3 x 112 MiB in each
+        // direction at 112 MB/s -> about 3.15 s.
+        let t = n.now().as_secs_f64();
+        let expect = 3.0 * 112.0 * 1024.0 * 1024.0 / 112e6;
+        assert!((t - expect).abs() < 0.05, "t={t} expect={expect}");
+    }
+}

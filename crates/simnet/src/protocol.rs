@@ -1,0 +1,220 @@
+//! Interconnect and protocol models.
+//!
+//! The paper evaluates Hadoop MapReduce over five network/protocol
+//! combinations: 1 GigE, 10 GigE, IPoIB QDR (32 Gbps), IPoIB FDR (56 Gbps),
+//! and RDMA over native InfiniBand FDR (56 Gbps). A protocol is modelled by
+//! four observable quantities:
+//!
+//! 1. **line rate** — the physical signalling rate of the link;
+//! 2. **NIC ceiling** — the effective per-direction throughput the host
+//!    protocol stack can sustain (socket copies, interrupt handling, IPoIB
+//!    encapsulation). This is what Fig. 7(b) of the paper actually
+//!    measures: 1 GigE peaks at ~110 MB/s, 10 GigE at ~520 MB/s, and IPoIB
+//!    QDR at ~950 MB/s even though its line rate is 4 GB/s;
+//! 3. **message latency** — one-way small-message latency, paid once per
+//!    transfer (connection setup / request round-trip);
+//! 4. **host CPU cost** — core-milliseconds of protocol processing per MiB
+//!    moved, paid by *each* endpoint. Socket-based protocols pay it in
+//!    full; RDMA bypasses the host CPU almost entirely.
+
+use simcore::time::SimDuration;
+use simcore::units::Rate;
+
+/// The five interconnect/protocol combinations evaluated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Interconnect {
+    /// 1 Gigabit Ethernet with TCP/IP sockets.
+    GigE1,
+    /// 10 Gigabit Ethernet with TCP/IP sockets (NetEffect NE020 class).
+    GigE10,
+    /// IP-over-InfiniBand on a QDR (32 Gbps) HCA.
+    IpoibQdr,
+    /// IP-over-InfiniBand on an FDR (56 Gbps) HCA.
+    IpoibFdr,
+    /// RDMA verbs over native InfiniBand FDR (56 Gbps), as used by the
+    /// MRoIB design in the paper's Sect. 6 case study.
+    RdmaFdr,
+}
+
+impl Interconnect {
+    /// All interconnects, in the order the paper presents them.
+    pub const ALL: [Interconnect; 5] = [
+        Interconnect::GigE1,
+        Interconnect::GigE10,
+        Interconnect::IpoibQdr,
+        Interconnect::IpoibFdr,
+        Interconnect::RdmaFdr,
+    ];
+
+    /// The label the paper uses in its figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Interconnect::GigE1 => "1GigE",
+            Interconnect::GigE10 => "10GigE",
+            Interconnect::IpoibQdr => "IPoIB (32Gbps)",
+            Interconnect::IpoibFdr => "IPoIB (56Gbps)",
+            Interconnect::RdmaFdr => "RDMA (56Gbps)",
+        }
+    }
+
+    /// The calibrated protocol model for this interconnect.
+    pub fn model(self) -> ProtocolModel {
+        match self {
+            Interconnect::GigE1 => ProtocolModel {
+                name: "1GigE",
+                line_rate: Rate::from_gbit_per_sec(1.0),
+                // Fig. 7(b): 1 GigE peaks at ~110 MB/s.
+                nic_ceiling: Rate::from_mb_per_sec(112.0),
+                msg_latency: SimDuration::from_micros(55),
+                cpu_ms_per_mib: 4.0,
+                rdma: false,
+            },
+            Interconnect::GigE10 => ProtocolModel {
+                name: "10GigE",
+                line_rate: Rate::from_gbit_per_sec(10.0),
+                // Fig. 7(b): 10 GigE peaks at ~520 MB/s — the NetEffect
+                // adapter's host stack, not the wire, is the bottleneck.
+                nic_ceiling: Rate::from_mb_per_sec(545.0),
+                msg_latency: SimDuration::from_micros(22),
+                // Plain TCP on the NetEffect adapter: no segmentation
+                // offload the kernel could use effectively in 2012-era
+                // stacks — every byte crosses the host.
+                cpu_ms_per_mib: 4.0,
+                rdma: false,
+            },
+            Interconnect::IpoibQdr => ProtocolModel {
+                name: "IPoIB (32Gbps)",
+                line_rate: Rate::from_gbit_per_sec(32.0),
+                // Fig. 7(b): IPoIB QDR peaks at ~950 MB/s.
+                nic_ceiling: Rate::from_mb_per_sec(950.0),
+                msg_latency: SimDuration::from_micros(16),
+                // The ConnectX HCA offloads segmentation and checksums
+                // for IPoIB (connected mode), so the per-byte host cost
+                // is far below plain Ethernet TCP.
+                cpu_ms_per_mib: 1.5,
+                rdma: false,
+            },
+            Interconnect::IpoibFdr => ProtocolModel {
+                name: "IPoIB (56Gbps)",
+                line_rate: Rate::from_gbit_per_sec(56.0),
+                // FDR IPoIB in datagram mode sustains ~1.5-1.7 GB/s.
+                nic_ceiling: Rate::from_mb_per_sec(1580.0),
+                msg_latency: SimDuration::from_micros(13),
+                cpu_ms_per_mib: 1.4,
+                rdma: false,
+            },
+            Interconnect::RdmaFdr => ProtocolModel {
+                name: "RDMA (56Gbps)",
+                line_rate: Rate::from_gbit_per_sec(56.0),
+                // Native verbs reach ~5.2 GB/s of the 6.8 GB/s FDR data
+                // rate for large messages.
+                nic_ceiling: Rate::from_mb_per_sec(5200.0),
+                msg_latency: SimDuration::from_micros(3),
+                cpu_ms_per_mib: 0.06,
+                rdma: true,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The tunable parameters of a network protocol as seen by the simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolModel {
+    /// Human-readable protocol name.
+    pub name: &'static str,
+    /// Physical link signalling rate.
+    pub line_rate: Rate,
+    /// Effective per-direction per-NIC throughput ceiling imposed by the
+    /// host protocol stack.
+    pub nic_ceiling: Rate,
+    /// One-way latency charged at the start of every transfer.
+    pub msg_latency: SimDuration,
+    /// Host CPU cost of protocol processing, in core-milliseconds per MiB
+    /// moved, charged at each endpoint.
+    pub cpu_ms_per_mib: f64,
+    /// True for kernel-bypass (RDMA) transports.
+    pub rdma: bool,
+}
+
+impl ProtocolModel {
+    /// The throughput a single NIC direction can sustain: the lower of the
+    /// wire and the host stack.
+    pub fn effective_rate(&self) -> Rate {
+        self.line_rate.min(self.nic_ceiling)
+    }
+
+    /// CPU seconds of protocol work for moving `bytes` bytes at one
+    /// endpoint.
+    pub fn cpu_seconds_for(&self, bytes: u64) -> f64 {
+        self.cpu_ms_per_mib * 1e-3 * (bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_throughput_ordering_holds() {
+        // The paper's Fig. 7(b) ordering: 1GigE < 10GigE < IPoIB QDR, and
+        // the Sect. 6 case study adds IPoIB FDR < RDMA FDR.
+        let caps: Vec<f64> = Interconnect::ALL
+            .iter()
+            .map(|i| i.model().effective_rate().as_mb_per_sec())
+            .collect();
+        for w in caps.windows(2) {
+            assert!(w[0] < w[1], "ceilings must be strictly increasing: {caps:?}");
+        }
+    }
+
+    #[test]
+    fn effective_rate_respects_line_rate() {
+        // 1GigE's ceiling (112 MB/s) is near line rate (125 MB/s): the
+        // effective rate must never exceed the wire.
+        for i in Interconnect::ALL {
+            let m = i.model();
+            assert!(
+                m.effective_rate().as_bytes_per_sec() <= m.line_rate.as_bytes_per_sec() + 1.0
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_peaks_match_paper() {
+        assert!((Interconnect::GigE1.model().nic_ceiling.as_mb_per_sec() - 112.0).abs() < 15.0);
+        assert!((Interconnect::GigE10.model().nic_ceiling.as_mb_per_sec() - 520.0).abs() < 40.0);
+        assert!((Interconnect::IpoibQdr.model().nic_ceiling.as_mb_per_sec() - 950.0).abs() < 40.0);
+    }
+
+    #[test]
+    fn rdma_is_cheap_for_the_host() {
+        let rdma = Interconnect::RdmaFdr.model();
+        let ipoib = Interconnect::IpoibFdr.model();
+        assert!(rdma.rdma);
+        assert!(!ipoib.rdma);
+        assert!(rdma.cpu_ms_per_mib < ipoib.cpu_ms_per_mib / 10.0);
+        assert!(rdma.msg_latency < ipoib.msg_latency);
+    }
+
+    #[test]
+    fn cpu_seconds_scale_linearly() {
+        let m = Interconnect::GigE1.model();
+        let one = m.cpu_seconds_for(1024 * 1024);
+        let ten = m.cpu_seconds_for(10 * 1024 * 1024);
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+        assert!((one - 0.0040).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_paper_labels() {
+        assert_eq!(Interconnect::GigE1.to_string(), "1GigE");
+        assert_eq!(Interconnect::IpoibQdr.to_string(), "IPoIB (32Gbps)");
+        assert_eq!(Interconnect::RdmaFdr.to_string(), "RDMA (56Gbps)");
+    }
+}

@@ -1,0 +1,114 @@
+//! Cluster network topology.
+//!
+//! Both of the paper's testbeds are single-switch clusters (a 24-port
+//! Fulcrum Focalpoint for Ethernet, a Mellanox switch for InfiniBand), so
+//! the topology model is a non-blocking crossbar with per-node NICs and an
+//! optional aggregate fabric capacity for modelling oversubscribed
+//! switches.
+
+use simcore::units::Rate;
+
+use crate::protocol::{Interconnect, ProtocolModel};
+
+/// Identifies a host on the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A single-switch cluster fabric.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n_nodes: usize,
+    protocol: ProtocolModel,
+    /// Total bisection capacity of the switch, if it is oversubscribed;
+    /// `None` models a non-blocking switch.
+    fabric_cap: Option<Rate>,
+}
+
+impl Topology {
+    /// A non-blocking single-switch fabric of `n_nodes` hosts running
+    /// `interconnect`.
+    pub fn single_switch(n_nodes: usize, interconnect: Interconnect) -> Self {
+        Topology::with_model(n_nodes, interconnect.model())
+    }
+
+    /// Same, from an explicit protocol model (for custom calibrations).
+    pub fn with_model(n_nodes: usize, protocol: ProtocolModel) -> Self {
+        assert!(n_nodes > 0, "topology needs at least one node");
+        Topology {
+            n_nodes,
+            protocol,
+            fabric_cap: None,
+        }
+    }
+
+    /// Limit the aggregate fabric throughput (oversubscribed switch).
+    pub fn with_fabric_cap(mut self, cap: Rate) -> Self {
+        self.fabric_cap = Some(cap);
+        self
+    }
+
+    /// Number of hosts.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n_nodes).map(NodeId)
+    }
+
+    /// The protocol model every NIC runs.
+    pub fn protocol(&self) -> &ProtocolModel {
+        &self.protocol
+    }
+
+    /// Per-direction capacity of one NIC.
+    pub fn nic_rate(&self) -> Rate {
+        self.protocol.effective_rate()
+    }
+
+    /// Aggregate fabric capacity, if constrained.
+    pub fn fabric_cap(&self) -> Option<Rate> {
+        self.fabric_cap
+    }
+
+    /// Validate a node id.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 < self.n_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let t = Topology::single_switch(4, Interconnect::GigE10);
+        assert_eq!(t.n_nodes(), 4);
+        assert!(t.contains(NodeId(3)));
+        assert!(!t.contains(NodeId(4)));
+        assert_eq!(t.nodes().count(), 4);
+        assert!(t.fabric_cap().is_none());
+        assert!((t.nic_rate().as_mb_per_sec() - 545.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fabric_cap_builder() {
+        let t = Topology::single_switch(8, Interconnect::GigE1)
+            .with_fabric_cap(Rate::from_mb_per_sec(400.0));
+        assert!((t.fabric_cap().unwrap().as_mb_per_sec() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty() {
+        let _ = Topology::single_switch(0, Interconnect::GigE1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the network simulator.
+
+use proptest::prelude::*;
+use simcore::time::SimTime;
+use simcore::units::ByteSize;
+use simnet::fairshare::{max_min_rates, FlowSpec};
+use simnet::{Interconnect, Network, NodeId, Topology};
+
+fn arb_flows(n_nodes: usize) -> impl Strategy<Value = Vec<FlowSpec>> {
+    proptest::collection::vec((0..n_nodes, 0..n_nodes), 1..24).prop_map(move |pairs| {
+        pairs
+            .into_iter()
+            .filter(|(s, d)| s != d)
+            .map(|(s, d)| FlowSpec { src: s, dst: d })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Fair-share rates never violate any resource capacity.
+    #[test]
+    fn fairshare_feasible(
+        flows in arb_flows(6),
+        caps in proptest::collection::vec(1.0f64..2000.0, 6),
+    ) {
+        let rates = max_min_rates(&flows, &caps, &caps, None);
+        let mut eg = [0.0; 6];
+        let mut ing = [0.0; 6];
+        for (f, r) in flows.iter().zip(&rates) {
+            prop_assert!(*r >= 0.0);
+            eg[f.src] += r;
+            ing[f.dst] += r;
+        }
+        for i in 0..6 {
+            prop_assert!(eg[i] <= caps[i] * (1.0 + 1e-9) + 1e-9);
+            prop_assert!(ing[i] <= caps[i] * (1.0 + 1e-9) + 1e-9);
+        }
+    }
+
+    /// Every flow is bottlenecked at some saturated resource
+    /// (work conservation / Pareto efficiency of max-min).
+    #[test]
+    fn fairshare_work_conserving(flows in arb_flows(5)) {
+        let caps = vec![100.0; 5];
+        let rates = max_min_rates(&flows, &caps, &caps, None);
+        let mut eg = [0.0; 5];
+        let mut ing = [0.0; 5];
+        for (f, r) in flows.iter().zip(&rates) {
+            eg[f.src] += r;
+            ing[f.dst] += r;
+        }
+        for (f, r) in flows.iter().zip(&rates) {
+            let saturated = eg[f.src] >= 100.0 - 1e-6 || ing[f.dst] >= 100.0 - 1e-6;
+            prop_assert!(saturated, "flow {:?} rate {} unbottlenecked", f, r);
+        }
+    }
+
+    /// Fabric cap bounds the aggregate allocation.
+    #[test]
+    fn fairshare_fabric_cap(flows in arb_flows(4), cap in 1.0f64..500.0) {
+        let caps = vec![1000.0; 4];
+        let rates = max_min_rates(&flows, &caps, &caps, Some(cap));
+        let total: f64 = rates.iter().sum();
+        prop_assert!(total <= cap * (1.0 + 1e-9) + 1e-9, "total {} cap {}", total, cap);
+    }
+
+    /// The network delivers every byte it accepts, for any flow pattern.
+    #[test]
+    fn network_delivers_everything(
+        pattern in proptest::collection::vec((0usize..4, 0usize..4, 1u64..64), 1..16),
+    ) {
+        let mut net = Network::new(Topology::single_switch(4, Interconnect::GigE10));
+        let mut expected = 0u64;
+        let mut started = 0;
+        for (i, (s, d, mib)) in pattern.iter().enumerate() {
+            let bytes = ByteSize::from_mib(*mib);
+            expected += bytes.as_bytes();
+            net.start_flow(
+                SimTime::from_nanos(i as u64),
+                NodeId(*s),
+                NodeId(*d),
+                bytes,
+                i as u64,
+            );
+            started += 1;
+        }
+        let done = net.run_to_idle();
+        prop_assert_eq!(done.len(), started);
+        prop_assert_eq!(net.delivered_bytes(), expected);
+        prop_assert_eq!(net.active_flows(), 0);
+    }
+
+    /// More load on the same fabric never finishes sooner (monotonicity).
+    #[test]
+    fn network_monotone_in_load(extra in 1u64..8) {
+        let run = |n_flows: u64| {
+            let mut net = Network::new(Topology::single_switch(2, Interconnect::GigE1));
+            for i in 0..n_flows {
+                net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), ByteSize::from_mib(32), i);
+            }
+            net.run_to_idle();
+            net.now()
+        };
+        let base = run(1);
+        let more = run(1 + extra);
+        prop_assert!(more >= base);
+    }
+}

@@ -1,0 +1,13 @@
+//! # hadoop-mr-microbench
+//!
+//! Facade crate for the whole workspace: re-exports the micro-benchmark
+//! suite ([`mrbench`]) together with the simulator substrates it runs on.
+//! See `README.md` for a tour and `DESIGN.md` for the architecture.
+
+#![warn(missing_docs)]
+
+pub use cluster;
+pub use mapreduce;
+pub use mrbench;
+pub use simcore;
+pub use simnet;

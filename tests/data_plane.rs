@@ -1,0 +1,102 @@
+//! Integration: the real data plane agrees with the simulated accounting.
+//!
+//! The suite's credibility rests on the serialized bytes the simulator
+//! charges being exactly what the real serializers produce. These tests
+//! cross the crate boundary: generate real records through `mrbench`'s
+//! generator, frame them with `mapreduce`'s IFile codec, and compare
+//! against the engine's counters.
+
+use hadoop_mr_microbench::mapreduce::ifile;
+use hadoop_mr_microbench::mrbench::{
+    run, BenchConfig, DataType, Interconnect, KvGenerator, MicroBenchmark, ShuffleVolume,
+};
+use hadoop_mr_microbench::simcore::units::ByteSize;
+
+#[test]
+fn simulated_bytes_equal_real_serialized_bytes() {
+    for dt in DataType::ALL {
+        let mut config = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_mib(64),
+        );
+        config.slaves = 2;
+        config.num_maps = 2;
+        config.num_reduces = 4;
+        config.data_type = dt;
+        config.volume = ShuffleVolume::PairsPerMap(1000);
+
+        let report = run(&config).unwrap();
+
+        // Build the same records for real and measure them.
+        let gen = KvGenerator::new(config.key_size, config.value_size, 4, dt);
+        let per_map_stream = gen.build_ifile(1000);
+        // The engine accounts per-partition segments: each has its own
+        // EOF marker + checksum, so per map there are 4 segment overheads
+        // instead of the single one in this stream.
+        let seg_overhead = (ifile::EOF_MARKER_LEN + ifile::CHECKSUM_LEN) as u64;
+        let body = per_map_stream.len() as u64 - seg_overhead;
+        let expected_per_map = body + 4 * seg_overhead;
+
+        assert_eq!(
+            report.result.counters.map_output_materialized_bytes,
+            expected_per_map * 2,
+            "{dt}: simulator charge vs real serialization"
+        );
+    }
+}
+
+#[test]
+fn generated_streams_parse_back_record_for_record() {
+    let gen = KvGenerator::new(100, 900, 8, DataType::BytesWritable);
+    let stream = gen.build_ifile(500);
+    let mut reader = ifile::IFileReader::new(&stream).expect("valid checksum");
+    let mut n = 0u64;
+    while let Some((k, v)) = reader.next().expect("well-formed") {
+        // Writable framing: BytesWritable adds a 4-byte length prefix.
+        assert_eq!(k.len(), 104);
+        assert_eq!(v.len(), 904);
+        n += 1;
+    }
+    assert_eq!(n, 500);
+}
+
+#[test]
+fn record_count_precision_across_volume_derivation() {
+    // set_shuffle_size derives pairs_per_map; the realized volume must be
+    // within one record per map of the request.
+    let config = BenchConfig::cluster_a_default(
+        MicroBenchmark::Avg,
+        Interconnect::GigE1,
+        ByteSize::from_gib(3),
+    );
+    let spec = config.job_spec();
+    let realized = spec.total_shuffle_bytes().as_bytes() as i64;
+    let target = ByteSize::from_gib(3).as_bytes() as i64;
+    let slack = (spec.record_ifile_len() * u64::from(spec.conf.num_maps)) as i64;
+    assert!(
+        (realized - target).abs() <= slack,
+        "realized {realized} vs target {target} (slack {slack})"
+    );
+}
+
+#[test]
+fn counters_are_internally_consistent() {
+    let mut config = BenchConfig::cluster_a_default(
+        MicroBenchmark::Rand,
+        Interconnect::IpoibQdr,
+        ByteSize::from_mib(256),
+    );
+    config.slaves = 2;
+    config.num_maps = 4;
+    config.num_reduces = 4;
+    let c = run(&config).unwrap().result.counters;
+
+    assert_eq!(c.map_input_records, 4, "one dummy record per NullInputFormat split");
+    assert_eq!(c.map_output_records, c.reduce_input_records);
+    assert_eq!(c.map_output_records, c.spilled_records_map);
+    assert_eq!(c.shuffled_fetches, 4 * 4, "every (map, reduce) pair fetched");
+    assert!(c.map_output_materialized_bytes > c.map_output_bytes);
+    assert!(c.cpu_core_seconds > 0.0);
+    assert!(c.disk_write_bytes >= c.map_output_materialized_bytes);
+}
