@@ -1,12 +1,15 @@
-//! Criterion micro-benchmarks of the simulator's hot paths.
+//! Micro-benchmarks of the simulator's hot paths, on a plain
+//! `std::time::Instant` harness (the workspace carries no external
+//! dependencies, so criterion is out of reach).
 //!
 //! These benches guard the wall-clock cost of the pieces every figure
 //! reproduction exercises thousands of times: the max-min fair-share
 //! solver, the deterministic RNGs, the partitioners' bulk assignment,
-//! the IFile codec, and a full end-to-end job.
+//! the IFile codec, and a full end-to-end job. Run with
+//! `cargo bench -p mrbench-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use mapreduce::ifile::{IFileReader, IFileWriter};
 use mapreduce::io::vint;
@@ -18,7 +21,21 @@ use simcore::units::ByteSize;
 use simnet::fairshare::{max_min_rates, FlowSpec};
 use simnet::Interconnect;
 
-fn bench_fairshare(c: &mut Criterion) {
+/// Time `iters` runs of `f` after a small warm-up, printing ns/iter.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters.div_ceil(10).min(100) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per_iter = total.as_nanos() / u128::from(iters.max(1));
+    println!("{name:<40} {per_iter:>12} ns/iter   ({iters} iters)");
+}
+
+fn bench_fairshare() {
     // A realistic shuffle incast: 16 nodes, 8 reducers x 5 copies.
     let mut flows = Vec::new();
     for r in 0..8usize {
@@ -31,55 +48,47 @@ fn bench_fairshare(c: &mut Criterion) {
         }
     }
     let caps = vec![950e6; 16];
-    c.bench_function("fairshare/40_flows_16_nodes", |b| {
-        b.iter(|| max_min_rates(black_box(&flows), &caps, &caps, None))
+    bench("fairshare/40_flows_16_nodes", 10_000, || {
+        black_box(max_min_rates(black_box(&flows), &caps, &caps, None));
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng/java_random_next_int_bound", |b| {
-        let mut r = JavaRandom::new(42);
-        b.iter(|| black_box(r.next_int_bound(8)))
+fn bench_rng() {
+    let mut jr = JavaRandom::new(42);
+    bench("rng/java_random_next_int_bound", 1_000_000, || {
+        black_box(jr.next_int_bound(8));
     });
-    c.bench_function("rng/xoshiro_next_u64", |b| {
-        let mut r = Xoshiro256pp::new(42);
-        b.iter(|| black_box(r.next_u64()))
+    let mut xo = Xoshiro256pp::new(42);
+    bench("rng/xoshiro_next_u64", 1_000_000, || {
+        black_box(xo.next_u64());
     });
 }
 
-fn bench_partitioners(c: &mut Criterion) {
+fn bench_partitioners() {
     let mut no_keys = |_: u64, _: &mut Vec<u8>| {};
-    c.bench_function("partition/avg_closed_form_1m", |b| {
-        b.iter(|| {
-            let mut p = AvgPartitioner;
-            black_box(p.assign_counts(1_000_000, 8, &mut no_keys))
-        })
+    bench("partition/avg_closed_form_1m", 10_000, || {
+        let mut p = AvgPartitioner;
+        black_box(p.assign_counts(1_000_000, 8, &mut no_keys));
     });
-    c.bench_function("partition/rand_per_record_100k", |b| {
-        b.iter(|| {
-            let mut p = RandPartitioner::new(7);
-            black_box(p.assign_counts(100_000, 8, &mut no_keys))
-        })
+    bench("partition/rand_per_record_100k", 100, || {
+        let mut p = RandPartitioner::new(7);
+        black_box(p.assign_counts(100_000, 8, &mut no_keys));
     });
-    c.bench_function("partition/skew_per_record_100k", |b| {
-        b.iter(|| {
-            let mut p = SkewPartitioner::new(7);
-            black_box(p.assign_counts(100_000, 8, &mut no_keys))
-        })
+    bench("partition/skew_per_record_100k", 100, || {
+        let mut p = SkewPartitioner::new(7);
+        black_box(p.assign_counts(100_000, 8, &mut no_keys));
     });
 }
 
-fn bench_ifile(c: &mut Criterion) {
+fn bench_ifile() {
     let key = vec![0xABu8; 100];
     let value = vec![0xCDu8; 1000];
-    c.bench_function("ifile/write_1k_records", |b| {
-        b.iter(|| {
-            let mut w = IFileWriter::new();
-            for _ in 0..1000 {
-                w.append(black_box(&key), black_box(&value));
-            }
-            black_box(w.close())
-        })
+    bench("ifile/write_1k_records", 1_000, || {
+        let mut w = IFileWriter::new();
+        for _ in 0..1000 {
+            w.append(black_box(&key), black_box(&value));
+        }
+        black_box(w.close());
     });
     let stream = {
         let mut w = IFileWriter::new();
@@ -88,27 +97,23 @@ fn bench_ifile(c: &mut Criterion) {
         }
         w.close()
     };
-    c.bench_function("ifile/read_1k_records", |b| {
-        b.iter(|| {
-            let mut r = IFileReader::new(black_box(&stream)).unwrap();
-            let mut n = 0u32;
-            while r.next().unwrap().is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
+    bench("ifile/read_1k_records", 1_000, || {
+        let mut r = IFileReader::new(black_box(&stream)).unwrap();
+        let mut n = 0u32;
+        while r.next().unwrap().is_some() {
+            n += 1;
+        }
+        black_box(n);
     });
-    c.bench_function("ifile/vint_round_trip", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(16);
-            vint::write_vlong(&mut buf, black_box(123_456_789));
-            let mut pos = 0;
-            black_box(vint::read_vlong(&buf, &mut pos).unwrap())
-        })
+    bench("ifile/vint_round_trip", 1_000_000, || {
+        let mut buf = Vec::with_capacity(16);
+        vint::write_vlong(&mut buf, black_box(123_456_789));
+        let mut pos = 0;
+        black_box(vint::read_vlong(&buf, &mut pos).unwrap());
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     let mut config = BenchConfig::cluster_a_default(
         MicroBenchmark::Avg,
         Interconnect::IpoibQdr,
@@ -117,12 +122,8 @@ fn bench_end_to_end(c: &mut Criterion) {
     config.slaves = 2;
     config.num_maps = 4;
     config.num_reduces = 4;
-    c.bench_function("engine/512mib_job_4m_4r", |b| {
-        b.iter_batched(
-            || config.clone(),
-            |cfg| black_box(run(&cfg).unwrap().job_time_secs()),
-            BatchSize::SmallInput,
-        )
+    bench("engine/512mib_job_4m_4r", 20, || {
+        black_box(run(&config).unwrap().job_time_secs());
     });
     // The paper's full anchor cell, as the heavyweight reference point.
     let anchor = BenchConfig::cluster_a_default(
@@ -130,21 +131,15 @@ fn bench_end_to_end(c: &mut Criterion) {
         Interconnect::IpoibQdr,
         ByteSize::from_gib(16),
     );
-    c.bench_function("engine/fig2_anchor_cell_16gb", |b| {
-        b.iter_batched(
-            || anchor.clone(),
-            |cfg| black_box(run(&cfg).unwrap().job_time_secs()),
-            BatchSize::SmallInput,
-        )
+    bench("engine/fig2_anchor_cell_16gb", 5, || {
+        black_box(run(&anchor).unwrap().job_time_secs());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fairshare,
-    bench_rng,
-    bench_partitioners,
-    bench_ifile,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_fairshare();
+    bench_rng();
+    bench_partitioners();
+    bench_ifile();
+    bench_end_to_end();
+}

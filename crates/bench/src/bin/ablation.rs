@@ -48,11 +48,8 @@ impl Variant {
 }
 
 fn run_variant(variant: Variant, ic: Interconnect) -> f64 {
-    let mut config = BenchConfig::cluster_a_default(
-        MicroBenchmark::Avg,
-        ic,
-        ByteSize::from_gib(16),
-    );
+    let mut config =
+        BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, ByteSize::from_gib(16));
     let mut spec = config.job_spec();
     match variant {
         Variant::DefaultSortMb => spec.conf.io_sort_mb = ByteSize::from_mib(100),

@@ -75,14 +75,26 @@ fn main() {
     );
     // The prose also claims IPoIB's edge grows with shuffle size.
     let small_gap = avg
-        .improvement_pct(ByteSize::from_gib(8), Interconnect::GigE1, Interconnect::IpoibQdr)
+        .improvement_pct(
+            ByteSize::from_gib(8),
+            Interconnect::GigE1,
+            Interconnect::IpoibQdr,
+        )
         .unwrap();
     let large_gap = avg
-        .improvement_pct(ByteSize::from_gib(32), Interconnect::GigE1, Interconnect::IpoibQdr)
+        .improvement_pct(
+            ByteSize::from_gib(32),
+            Interconnect::GigE1,
+            Interconnect::IpoibQdr,
+        )
         .unwrap();
     println!(
         "  [{}] IPoIB improvement grows (or holds) with shuffle size: {:.1}% @8GB -> {:.1}% @32GB",
-        if large_gap >= small_gap - 3.0 { "ok      " } else { "DEVIATES" },
+        if large_gap >= small_gap - 3.0 {
+            "ok      "
+        } else {
+            "DEVIATES"
+        },
         small_gap,
         large_gap
     );

@@ -61,17 +61,16 @@ fn main() {
     // Sect. 5.2: "increasing cluster size and concurrency significantly
     // benefits average and random data distribution patterns" — compare
     // against the Fig. 2 configuration at the same shuffle size.
-    let fig2_avg = Sweep::cluster_a(
-        MicroBenchmark::Avg,
-        &[at],
-        &[Interconnect::IpoibQdr],
-    )
-    .unwrap();
+    let fig2_avg = Sweep::cluster_a(MicroBenchmark::Avg, &[at], &[Interconnect::IpoibQdr]).unwrap();
     let t_fig2 = fig2_avg.time(at, Interconnect::IpoibQdr).unwrap();
     let t_fig3 = avg.time(at, Interconnect::IpoibQdr).unwrap();
     println!(
         "  [{}] doubling the cluster speeds up MR-AVG: {:.1}s (4 slaves) -> {:.1}s (8 slaves)",
-        if t_fig3 < t_fig2 { "ok      " } else { "DEVIATES" },
+        if t_fig3 < t_fig2 {
+            "ok      "
+        } else {
+            "DEVIATES"
+        },
         t_fig2,
         t_fig3
     );

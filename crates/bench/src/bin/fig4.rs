@@ -28,16 +28,18 @@ fn main() {
             &sizes,
             &CLUSTER_A_NETWORKS,
             |shuffle, ic| {
-                let mut c =
-                    BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
+                let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
                 c.key_size = *kv;
                 c.value_size = *kv;
                 c
             },
         );
         print_improvements(&sweep);
-        at_16gb_ipoib
-            .push(sweep.time(ByteSize::from_gib(16), Interconnect::IpoibQdr).unwrap());
+        at_16gb_ipoib.push(
+            sweep
+                .time(ByteSize::from_gib(16), Interconnect::IpoibQdr)
+                .unwrap(),
+        );
     }
 
     println!("shape checks against the paper's prose:");

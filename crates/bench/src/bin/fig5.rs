@@ -81,7 +81,11 @@ fn main() {
     };
     println!(
         "  [{}] concurrency gains are at least as large on IPoIB as on 10GigE: {:.1}% vs {:.1}%",
-        if help_ipoib >= help_10g - 0.03 { "ok      " } else { "DEVIATES" },
+        if help_ipoib >= help_10g - 0.03 {
+            "ok      "
+        } else {
+            "DEVIATES"
+        },
         help_ipoib * 100.0,
         help_10g * 100.0
     );

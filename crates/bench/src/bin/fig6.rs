@@ -27,7 +27,10 @@ fn main() {
             c
         })
         .expect("valid config");
-        print!("{}", sweep.table(&format!("Fig 6{panel} MR-RAND with {dt}")));
+        print!(
+            "{}",
+            sweep.table(&format!("Fig 6{panel} MR-RAND with {dt}"))
+        );
         println!();
         print_improvements(&sweep);
         sweeps.push((dt, sweep));
@@ -68,7 +71,5 @@ fn main() {
     // should never be meaningfully slower at equal payload.
     let t_b = sweeps[0].1.time(at, Interconnect::IpoibQdr).unwrap();
     let t_t = sweeps[1].1.time(at, Interconnect::IpoibQdr).unwrap();
-    println!(
-        "  [info    ] 64 GB / IPoIB: BytesWritable {t_b:.1}s vs Text {t_t:.1}s"
-    );
+    println!("  [info    ] 64 GB / IPoIB: BytesWritable {t_b:.1}s vs Text {t_t:.1}s");
 }

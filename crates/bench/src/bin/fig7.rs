@@ -43,11 +43,8 @@ fn main() {
 
     let mut reports = Vec::new();
     for ic in CLUSTER_A_NETWORKS {
-        let config = BenchConfig::cluster_a_default(
-            MicroBenchmark::Avg,
-            ic,
-            ByteSize::from_gib(16),
-        );
+        let config =
+            BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, ByteSize::from_gib(16));
         reports.push((ic, run(&config).expect("valid config")));
     }
 
@@ -103,9 +100,7 @@ fn main() {
         .iter()
         .map(|(_, r)| r.cpu_series(node).mean().unwrap_or(0.0))
         .collect();
-    let spread = cpu_means
-        .iter()
-        .fold(0.0f64, |a, &b| a.max(b))
+    let spread = cpu_means.iter().fold(0.0f64, |a, &b| a.max(b))
         - cpu_means.iter().fold(f64::INFINITY, |a, &b| a.min(b));
     println!(
         "  [{}] CPU trends similar across networks: mean CPU {:.0}% / {:.0}% / {:.0}% (spread {:.0} pts)",

@@ -139,10 +139,23 @@ fn main() {
     // Fig 7: peak throughputs.
     for (ic, paper, exp) in [
         (Interconnect::GigE1, claims::PEAK_RX_MBPS_GIGE1, "Fig 7(b)"),
-        (Interconnect::GigE10, claims::PEAK_RX_MBPS_GIGE10, "Fig 7(b)"),
-        (Interconnect::IpoibQdr, claims::PEAK_RX_MBPS_IPOIB, "Fig 7(b)"),
+        (
+            Interconnect::GigE10,
+            claims::PEAK_RX_MBPS_GIGE10,
+            "Fig 7(b)",
+        ),
+        (
+            Interconnect::IpoibQdr,
+            claims::PEAK_RX_MBPS_IPOIB,
+            "Fig 7(b)",
+        ),
     ] {
-        let report = run(&BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, gb16)).unwrap();
+        let report = run(&BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            ic,
+            gb16,
+        ))
+        .unwrap();
         rows.push(Row {
             exp,
             what: match ic {

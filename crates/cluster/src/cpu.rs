@@ -191,16 +191,14 @@ impl CpuSim {
         for (node, slot) in share.iter_mut().enumerate() {
             let runnable = self.runnable_per_node[node];
             if runnable > 0 {
-                *slot =
-                    self.speed[node] * (self.cores[node] as f64 / runnable as f64).min(1.0);
+                *slot = self.speed[node] * (self.cores[node] as f64 / runnable as f64).min(1.0);
             }
         }
         for j in self.jobs.values_mut() {
             j.rate = share[j.node];
         }
         for node in 0..n {
-            let busy_cores =
-                (self.runnable_per_node[node] as f64).min(self.cores[node] as f64);
+            let busy_cores = (self.runnable_per_node[node] as f64).min(self.cores[node] as f64);
             self.busy[node].set_rate(now, busy_cores);
         }
     }

@@ -229,8 +229,7 @@ impl DiskSim {
                 disk.spec.write_bw
             }
         };
-        let service =
-            SimDuration::from_secs_f64(disk.spec.seek_ms * 1e-3) + bw.time_for(bytes);
+        let service = SimDuration::from_secs_f64(disk.spec.seek_ms * 1e-3) + bw.time_for(bytes);
         let id = self.next_id;
         self.next_id += 1;
         disk.fg.push_back(Request {
@@ -270,9 +269,16 @@ impl DiskSim {
     fn lane_completion(&mut self, now: SimTime, node: usize, bytes: u64, tag: u64) -> IoId {
         let id = self.next_id;
         self.next_id += 1;
-        let done = now
-            + SimDuration::from_secs_f64(bytes as f64 / MEMCPY_BYTES_PER_SEC);
-        let entry = (done, id, IoCompletion { id: IoId(id), node, tag });
+        let done = now + SimDuration::from_secs_f64(bytes as f64 / MEMCPY_BYTES_PER_SEC);
+        let entry = (
+            done,
+            id,
+            IoCompletion {
+                id: IoId(id),
+                node,
+                tag,
+            },
+        );
         let pos = self
             .cache_lane
             .iter()
@@ -302,8 +308,7 @@ impl DiskSim {
         match kind {
             IoKind::Write => {
                 let cache = self.caches[node].as_mut().expect("checked above");
-                cache.resident =
-                    (cache.resident + b as f64).min(cache.resident_budget);
+                cache.resident = (cache.resident + b as f64).min(cache.resident_budget);
                 let headroom = (cache.dirty_budget - cache.dirty).max(0.0) as u64;
                 let fast = b.min(headroom);
                 let throttled = b - fast;
@@ -396,8 +401,7 @@ impl DiskSim {
                     }
                     if req.writeback_bytes > 0 {
                         if let Some(cache) = &mut self.caches[node] {
-                            cache.dirty =
-                                (cache.dirty - req.writeback_bytes as f64).max(0.0);
+                            cache.dirty = (cache.dirty - req.writeback_bytes as f64).max(0.0);
                         }
                     } else {
                         out.push((
@@ -411,9 +415,7 @@ impl DiskSim {
                     }
                     // Serve the next request (foreground first) from the
                     // instant this one finished.
-                    if let Some(next) =
-                        disk.fg.pop_front().or_else(|| disk.bg.pop_front())
-                    {
+                    if let Some(next) = disk.fg.pop_front().or_else(|| disk.bg.pop_front()) {
                         let next_done = done_at + next.service;
                         disk.in_service = Some((next, next_done));
                     }
@@ -468,7 +470,13 @@ mod tests {
     #[test]
     fn single_write_costs_seek_plus_transfer() {
         let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 10.0));
-        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
+        d.submit(
+            SimTime::ZERO,
+            0,
+            ByteSize::from_bytes(100_000_000),
+            IoKind::Write,
+            1,
+        );
         let t = d.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 1.01).abs() < 1e-6, "{t:?}");
         let done = d.advance_to(t);
@@ -480,8 +488,20 @@ mod tests {
     #[test]
     fn fifo_serializes_requests() {
         let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
-        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
-        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 2);
+        d.submit(
+            SimTime::ZERO,
+            0,
+            ByteSize::from_bytes(100_000_000),
+            IoKind::Write,
+            1,
+        );
+        d.submit(
+            SimTime::ZERO,
+            0,
+            ByteSize::from_bytes(100_000_000),
+            IoKind::Write,
+            2,
+        );
         let t1 = d.next_event_time().unwrap();
         assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
         assert_eq!(d.advance_to(t1)[0].tag, 1);
@@ -493,8 +513,20 @@ mod tests {
     #[test]
     fn round_robin_striping_uses_both_disks() {
         let mut d = DiskSim::homogeneous(1, 2, spec(100.0, 0.0));
-        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
-        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 2);
+        d.submit(
+            SimTime::ZERO,
+            0,
+            ByteSize::from_bytes(100_000_000),
+            IoKind::Write,
+            1,
+        );
+        d.submit(
+            SimTime::ZERO,
+            0,
+            ByteSize::from_bytes(100_000_000),
+            IoKind::Write,
+            2,
+        );
         // Parallel service on two spindles: both done at t=1.
         let t = d.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
@@ -509,7 +541,13 @@ mod tests {
             seek_ms: 0.0,
         };
         let mut d = DiskSim::homogeneous(1, 1, s);
-        d.submit(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Read, 1);
+        d.submit(
+            SimTime::ZERO,
+            0,
+            ByteSize::from_bytes(100_000_000),
+            IoKind::Read,
+            1,
+        );
         let t = d.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 0.5).abs() < 1e-6);
         d.advance_to(t);
@@ -520,7 +558,13 @@ mod tests {
     #[test]
     fn idle_disk_starts_service_at_submit_time() {
         let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
-        d.submit(SimTime::from_secs(10), 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
+        d.submit(
+            SimTime::from_secs(10),
+            0,
+            ByteSize::from_bytes(100_000_000),
+            IoKind::Write,
+            1,
+        );
         let t = d.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 11.0).abs() < 1e-6);
     }
@@ -630,7 +674,10 @@ mod tests {
         assert_eq!(before, 1 << 30);
         // Delete the file: all but the in-service chunk is cancelled.
         let cancelled = d.discard_writeback(0, ByteSize::from_gib(1));
-        assert!(cancelled >= (1 << 30) - 2 * WRITEBACK_CHUNK, "cancelled {cancelled}");
+        assert!(
+            cancelled >= (1 << 30) - 2 * WRITEBACK_CHUNK,
+            "cancelled {cancelled}"
+        );
         // Spindle drains quickly now.
         let mut last = SimTime::ZERO;
         while let Some(t) = d.next_event_time() {
@@ -644,7 +691,13 @@ mod tests {
     fn uncached_nodes_behave_like_raw_disk() {
         let mut d = DiskSim::homogeneous(1, 1, spec(100.0, 0.0));
         // No enable_page_cache.
-        d.submit_cached(SimTime::ZERO, 0, ByteSize::from_bytes(100_000_000), IoKind::Write, 1);
+        d.submit_cached(
+            SimTime::ZERO,
+            0,
+            ByteSize::from_bytes(100_000_000),
+            IoKind::Write,
+            1,
+        );
         let t = d.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
     }

@@ -21,8 +21,11 @@ pub enum MicroBenchmark {
 
 impl MicroBenchmark {
     /// The paper's three benchmarks, in presentation order.
-    pub const ALL: [MicroBenchmark; 3] =
-        [MicroBenchmark::Avg, MicroBenchmark::Rand, MicroBenchmark::Skew];
+    pub const ALL: [MicroBenchmark; 3] = [
+        MicroBenchmark::Avg,
+        MicroBenchmark::Rand,
+        MicroBenchmark::Skew,
+    ];
 
     /// The paper's three plus this suite's extensions.
     pub const EXTENDED: [MicroBenchmark; 4] = [
@@ -86,9 +89,18 @@ mod tests {
     #[test]
     fn labels_and_parsing() {
         assert_eq!(MicroBenchmark::Avg.label(), "MR-AVG");
-        assert_eq!("mr-rand".parse::<MicroBenchmark>().unwrap(), MicroBenchmark::Rand);
-        assert_eq!("SKEW".parse::<MicroBenchmark>().unwrap(), MicroBenchmark::Skew);
-        assert_eq!("MR_AVG".parse::<MicroBenchmark>().unwrap(), MicroBenchmark::Avg);
+        assert_eq!(
+            "mr-rand".parse::<MicroBenchmark>().unwrap(),
+            MicroBenchmark::Rand
+        );
+        assert_eq!(
+            "SKEW".parse::<MicroBenchmark>().unwrap(),
+            MicroBenchmark::Skew
+        );
+        assert_eq!(
+            "MR_AVG".parse::<MicroBenchmark>().unwrap(),
+            MicroBenchmark::Avg
+        );
         assert!("sort".parse::<MicroBenchmark>().is_err());
     }
 
@@ -97,6 +109,9 @@ mod tests {
         for b in MicroBenchmark::EXTENDED {
             assert_eq!(b.factory().name(), b.label());
         }
-        assert_eq!("zipf".parse::<MicroBenchmark>().unwrap(), MicroBenchmark::Zipf);
+        assert_eq!(
+            "zipf".parse::<MicroBenchmark>().unwrap(),
+            MicroBenchmark::Zipf
+        );
     }
 }

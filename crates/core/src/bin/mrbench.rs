@@ -87,5 +87,8 @@ fn main() -> ExitCode {
             );
         }
     }
+    if !report.result.succeeded() {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -4,6 +4,7 @@
 //! list), but with real error messages and full coverage of the suite's
 //! knobs.
 
+use mapreduce::{NodeCrash, NodeSlowdown};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
@@ -47,6 +48,18 @@ OPTIONS:
     --zipf-exponent <S>            exponent for --bench zipf  [default: 1.0]
     --seed <N>                     master seed
     --timeline                     print the per-task timeline
+
+FAULT INJECTION:
+    --fail-prob <P>                per-attempt task failure probability (maps
+                                   and reduces), 0.0-1.0
+    --fetch-fail-prob <P>          per-try shuffle fetch failure probability
+    --crash <NODE@SECS>            crash a node at a simulated time
+                                   (repeatable, e.g. --crash 1@30)
+    --slowdown <NODE:FACTOR>       slow a node's tasks by FACTOR (straggler;
+                                   repeatable, e.g. --slowdown 0:2.5)
+    --max-attempts <N>             attempts per task before the job aborts
+                                                              [default: 4]
+    --speculative                  enable speculative execution for stragglers
     -h, --help                     show this help
 ";
 
@@ -82,13 +95,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let n: u64 = parse_num(value("--shuffle-mb")?)?;
                 config.volume = ShuffleVolume::TotalBytes(ByteSize::from_mib(n));
             }
-            "--pairs" => {
-                config.volume = ShuffleVolume::PairsPerMap(parse_num(value("--pairs")?)?)
-            }
+            "--pairs" => config.volume = ShuffleVolume::PairsPerMap(parse_num(value("--pairs")?)?),
             "--key-size" => config.key_size = parse_num(value("--key-size")?)? as usize,
-            "--value-size" => {
-                config.value_size = parse_num(value("--value-size")?)? as usize
-            }
+            "--value-size" => config.value_size = parse_num(value("--value-size")?)? as usize,
             "--data-type" => config.data_type = value("--data-type")?.parse()?,
             "--maps" => config.num_maps = parse_num(value("--maps")?)? as u32,
             "--reduces" => config.num_reduces = parse_num(value("--reduces")?)? as u32,
@@ -114,6 +123,24 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .map_err(|e| format!("bad exponent: {e}"))?
             }
             "--seed" => config.seed = parse_num(value("--seed")?)?,
+            "--fail-prob" => {
+                let p = parse_prob(value("--fail-prob")?)?;
+                config.faults.map_failure_prob = p;
+                config.faults.reduce_failure_prob = p;
+            }
+            "--fetch-fail-prob" => {
+                config.faults.fetch_failure_prob = parse_prob(value("--fetch-fail-prob")?)?
+            }
+            "--crash" => config
+                .faults
+                .node_crashes
+                .push(parse_crash(value("--crash")?)?),
+            "--slowdown" => config
+                .faults
+                .node_slowdowns
+                .push(parse_slowdown(value("--slowdown")?)?),
+            "--max-attempts" => config.max_attempts = parse_num(value("--max-attempts")?)? as u32,
+            "--speculative" => config.speculative = true,
             "--timeline" => timeline = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
@@ -130,6 +157,42 @@ fn parse_num(s: &str) -> Result<u64, String> {
     s.replace('_', "")
         .parse::<u64>()
         .map_err(|e| format!("bad number '{s}': {e}"))
+}
+
+fn parse_prob(s: &str) -> Result<f64, String> {
+    let p: f64 = s
+        .parse()
+        .map_err(|e| format!("bad probability '{s}': {e}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability '{s}' must be in 0.0-1.0"));
+    }
+    Ok(p)
+}
+
+/// Parse `NODE@SECS`, e.g. `1@30.5`.
+fn parse_crash(s: &str) -> Result<NodeCrash, String> {
+    let (node, at) = s
+        .split_once('@')
+        .ok_or_else(|| format!("--crash wants NODE@SECS, got '{s}'"))?;
+    Ok(NodeCrash {
+        node: parse_num(node)? as usize,
+        at_secs: at
+            .parse::<f64>()
+            .map_err(|e| format!("bad crash time '{at}': {e}"))?,
+    })
+}
+
+/// Parse `NODE:FACTOR`, e.g. `0:2.5`.
+fn parse_slowdown(s: &str) -> Result<NodeSlowdown, String> {
+    let (node, factor) = s
+        .split_once(':')
+        .ok_or_else(|| format!("--slowdown wants NODE:FACTOR, got '{s}'"))?;
+    Ok(NodeSlowdown {
+        node: parse_num(node)? as usize,
+        factor: factor
+            .parse::<f64>()
+            .map_err(|e| format!("bad slowdown factor '{factor}': {e}"))?,
+    })
 }
 
 /// Parse an interconnect name as the CLI spells them.
@@ -167,18 +230,30 @@ mod tests {
     #[test]
     fn full_invocation() {
         let cli = parse(&[
-            "--bench", "zipf",
-            "--network", "10gige",
-            "--shuffle-mb", "512",
-            "--key-size", "100",
-            "--value-size", "900",
-            "--data-type", "text",
-            "--maps", "8",
-            "--reduces", "4",
-            "--slaves", "2",
-            "--engine", "yarn",
-            "--zipf-exponent", "1.3",
-            "--seed", "7",
+            "--bench",
+            "zipf",
+            "--network",
+            "10gige",
+            "--shuffle-mb",
+            "512",
+            "--key-size",
+            "100",
+            "--value-size",
+            "900",
+            "--data-type",
+            "text",
+            "--maps",
+            "8",
+            "--reduces",
+            "4",
+            "--slaves",
+            "2",
+            "--engine",
+            "yarn",
+            "--zipf-exponent",
+            "1.3",
+            "--seed",
+            "7",
             "--timeline",
         ])
         .unwrap();
@@ -214,6 +289,54 @@ mod tests {
         assert!(parse(&["--frobnicate"]).is_err());
         // Help is Err("") by convention.
         assert_eq!(parse(&["--help"]).err(), Some(String::new()));
+    }
+
+    #[test]
+    fn fault_flags() {
+        let cli = parse(&[
+            "--fail-prob",
+            "0.1",
+            "--fetch-fail-prob",
+            "0.05",
+            "--crash",
+            "1@30.5",
+            "--slowdown",
+            "0:2.5",
+            "--max-attempts",
+            "6",
+            "--speculative",
+        ])
+        .unwrap();
+        let c = &cli.config;
+        assert_eq!(c.faults.map_failure_prob, 0.1);
+        assert_eq!(c.faults.reduce_failure_prob, 0.1);
+        assert_eq!(c.faults.fetch_failure_prob, 0.05);
+        assert_eq!(
+            c.faults.node_crashes,
+            vec![NodeCrash {
+                node: 1,
+                at_secs: 30.5
+            }]
+        );
+        assert_eq!(
+            c.faults.node_slowdowns,
+            vec![NodeSlowdown {
+                node: 0,
+                factor: 2.5
+            }]
+        );
+        assert_eq!(c.max_attempts, 6);
+        assert!(c.speculative);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_flag_errors() {
+        assert!(parse(&["--fail-prob", "1.5"]).is_err());
+        assert!(parse(&["--fail-prob", "-0.1"]).is_err());
+        assert!(parse(&["--crash", "30.5"]).is_err());
+        assert!(parse(&["--crash", "x@1"]).is_err());
+        assert!(parse(&["--slowdown", "0"]).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use cluster::{ClusterPreset, NodeSpec};
 use mapreduce::conf::{EngineKind, JobConf, ShuffleEngineKind};
 use mapreduce::io::DataType;
 use mapreduce::job::JobSpec;
+use mapreduce::FaultPlan;
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
@@ -56,6 +57,12 @@ pub struct BenchConfig {
     /// Zipf exponent for the MR-ZIPF extension benchmark (ignored by the
     /// paper's three benchmarks). 0 = uniform, 1 = classic Zipf.
     pub zipf_exponent: f64,
+    /// Fault-injection plan (empty = fault-free run).
+    pub faults: FaultPlan,
+    /// Attempts allowed per task before the job aborts.
+    pub max_attempts: u32,
+    /// Hadoop-style speculative execution for stragglers.
+    pub speculative: bool,
 }
 
 impl BenchConfig {
@@ -82,6 +89,9 @@ impl BenchConfig {
             shuffle_engine: ShuffleEngineKind::Tcp,
             seed: 0x5EED_2014,
             zipf_exponent: 1.0,
+            faults: FaultPlan::none(),
+            max_attempts: 4,
+            speculative: false,
         }
     }
 
@@ -150,6 +160,9 @@ impl BenchConfig {
             engine: self.engine,
             shuffle_engine: self.shuffle_engine,
             seed: self.seed,
+            faults: self.faults.clone(),
+            max_attempts: self.max_attempts,
+            speculative: self.speculative,
             ..JobConf::default()
         };
         let mut spec = JobSpec {
@@ -185,6 +198,24 @@ impl BenchConfig {
             && !(self.zipf_exponent.is_finite() && self.zipf_exponent >= 0.0)
         {
             return Err("MR-ZIPF exponent must be finite and >= 0".into());
+        }
+        // Fault-plan node indices must name real slaves (the engine asserts
+        // this; surface it as a config error instead).
+        for c in &self.faults.node_crashes {
+            if c.node >= self.slaves {
+                return Err(format!(
+                    "crash plan names node {} but the cluster has {} slaves",
+                    c.node, self.slaves
+                ));
+            }
+        }
+        for s in &self.faults.node_slowdowns {
+            if s.node >= self.slaves {
+                return Err(format!(
+                    "slowdown plan names node {} but the cluster has {} slaves",
+                    s.node, self.slaves
+                ));
+            }
         }
         self.job_spec().validate()
     }
@@ -228,17 +259,10 @@ mod tests {
 
     #[test]
     fn case_study_uses_rdma_engine_only_for_rdma() {
-        let r = BenchConfig::cluster_b_case_study(
-            Interconnect::RdmaFdr,
-            ByteSize::from_gib(16),
-            8,
-        );
+        let r = BenchConfig::cluster_b_case_study(Interconnect::RdmaFdr, ByteSize::from_gib(16), 8);
         assert_eq!(r.shuffle_engine, ShuffleEngineKind::Rdma);
-        let i = BenchConfig::cluster_b_case_study(
-            Interconnect::IpoibFdr,
-            ByteSize::from_gib(16),
-            8,
-        );
+        let i =
+            BenchConfig::cluster_b_case_study(Interconnect::IpoibFdr, ByteSize::from_gib(16), 8);
         assert_eq!(i.shuffle_engine, ShuffleEngineKind::Tcp);
         assert_eq!(i.cluster, ClusterPreset::ClusterB);
     }
@@ -254,6 +278,39 @@ mod tests {
         assert!(c.validate().is_err());
         c.num_reduces = 3;
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_is_validated_and_forwarded() {
+        let mut c = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_gib(1),
+        );
+        c.faults.map_failure_prob = 1.5;
+        assert!(c.validate().is_err());
+        c.faults.map_failure_prob = 0.1;
+        // Fault-plan node indices beyond the cluster are config errors,
+        // not engine panics.
+        c.faults.node_crashes.push(mapreduce::NodeCrash {
+            node: 9,
+            at_secs: 1.0,
+        });
+        assert!(c.validate().unwrap_err().contains("9"));
+        c.faults.node_crashes.clear();
+        c.faults.node_slowdowns.push(mapreduce::NodeSlowdown {
+            node: 7,
+            factor: 2.0,
+        });
+        assert!(c.validate().unwrap_err().contains("7"));
+        c.faults.node_slowdowns.clear();
+        c.speculative = true;
+        c.max_attempts = 2;
+        c.validate().unwrap();
+        let conf = c.job_spec().conf;
+        assert_eq!(conf.faults, c.faults);
+        assert_eq!(conf.max_attempts, 2);
+        assert!(conf.speculative);
     }
 
     #[test]

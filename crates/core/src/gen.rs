@@ -61,7 +61,12 @@ impl KvGenerator {
         let uid = ordinal % u64::from(self.n_reducers);
         // Values reuse the key pattern shifted, as the suite only cares
         // about sizes, not content.
-        fill_payload(uid.wrapping_add(0x9E37), self.value_size, self.data_type, buf);
+        fill_payload(
+            uid.wrapping_add(0x9E37),
+            self.value_size,
+            self.data_type,
+            buf,
+        );
     }
 
     /// Serialize record `ordinal` exactly as the map output collector

@@ -231,7 +231,10 @@ pub struct ZipfPartitioner {
 impl ZipfPartitioner {
     /// One instance per map task.
     pub fn new(seed: i64, exponent: f64) -> Self {
-        assert!(exponent >= 0.0 && exponent.is_finite(), "exponent must be >= 0");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be >= 0"
+        );
         ZipfPartitioner {
             rng: JavaRandom::new(seed),
             exponent,
@@ -261,7 +264,9 @@ impl Partitioner for ZipfPartitioner {
         self.ensure_cdf(n_reducers);
         let u = self.rng.next_double();
         // First CDF entry >= u; the CDF ends at 1.0 so this always hits.
-        self.cdf.partition_point(|&c| c < u).min(n_reducers as usize - 1) as u32
+        self.cdf
+            .partition_point(|&c| c < u)
+            .min(n_reducers as usize - 1) as u32
     }
 }
 

@@ -53,15 +53,16 @@ impl BenchReport {
 }
 
 fn series_peak(all: &[TimeSeries]) -> f64 {
-    all.iter()
-        .filter_map(|s| s.peak())
-        .fold(0.0f64, f64::max)
+    all.iter().filter_map(|s| s.peak()).fold(0.0f64, f64::max)
 }
 
 impl fmt::Display for BenchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let c = &self.config;
-        writeln!(f, "================ micro-benchmark report ================")?;
+        writeln!(
+            f,
+            "================ micro-benchmark report ================"
+        )?;
         writeln!(f, "benchmark            {}", c.benchmark)?;
         writeln!(f, "engine               {}", c.engine.label())?;
         writeln!(
@@ -87,12 +88,23 @@ impl fmt::Display for BenchReport {
             c.key_size, c.value_size, c.data_type
         )?;
         writeln!(f, "shuffle data         {}", c.shuffle_bytes())?;
-        writeln!(f, "---------------------------------------------------------")?;
+        if !c.faults.is_empty() {
+            writeln!(f, "fault plan           {:?}", c.faults)?;
+        }
         writeln!(
             f,
-            "JOB EXECUTION TIME   {:.1} s",
-            self.job_time_secs()
+            "---------------------------------------------------------"
         )?;
+        match &self.result.failure {
+            None => writeln!(f, "outcome              SUCCEEDED")?,
+            Some(d) => writeln!(
+                f,
+                "outcome              FAILED at {:.1} s — {}",
+                d.at.as_secs_f64(),
+                d.reason
+            )?,
+        }
+        writeln!(f, "JOB EXECUTION TIME   {:.1} s", self.job_time_secs())?;
         writeln!(
             f,
             "map phase            {:.1} s   shuffle end {:.1} s",
@@ -105,7 +117,10 @@ impl fmt::Display for BenchReport {
             self.peak_cpu_pct(),
             self.peak_rx_mbps()
         )?;
-        writeln!(f, "---------------------------------------------------------")?;
+        writeln!(
+            f,
+            "---------------------------------------------------------"
+        )?;
         write!(f, "{}", self.result.counters)
     }
 }
@@ -135,7 +150,30 @@ mod tests {
         assert!(text.contains("1GigE"));
         assert!(text.contains("peak CPU"));
         assert!(text.contains("Counters"));
+        assert!(text.contains("outcome              SUCCEEDED"));
         assert!(report.job_time_secs() > 0.0);
         assert!(report.peak_cpu_pct() > 0.0);
+    }
+
+    #[test]
+    fn failed_jobs_are_reported_not_panicked() {
+        let mut config = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_mib(128),
+        );
+        config.slaves = 2;
+        config.num_maps = 4;
+        config.num_reduces = 4;
+        config.faults.map_failure_prob = 1.0; // every attempt dies
+        config.max_attempts = 2;
+        let report = run(&config).unwrap();
+        assert!(!report.result.succeeded());
+        let text = report.to_string();
+        assert!(
+            text.contains("FAILED"),
+            "report must show the abort:\n{text}"
+        );
+        assert!(text.contains("allowed attempts"), "{text}");
     }
 }

@@ -81,6 +81,20 @@ mod tests {
     }
 
     #[test]
+    fn injected_faults_recover_and_conserve_records() {
+        let mut c = small(MicroBenchmark::Avg, Interconnect::GigE10);
+        c.volume = ShuffleVolume::PairsPerMap(10_000);
+        c.faults.map_failure_prob = 0.2;
+        c.faults.reduce_failure_prob = 0.2;
+        let r = run(&c).unwrap();
+        assert!(r.result.succeeded());
+        assert!(r.result.counters.failed_task_attempts > 0);
+        // Retried work never double-counts logical records.
+        assert_eq!(r.result.counters.map_output_records, 40_000);
+        assert_eq!(r.result.counters.reduce_input_records, 40_000);
+    }
+
+    #[test]
     fn record_conservation_across_benchmarks() {
         for bench in MicroBenchmark::ALL {
             let mut c = small(bench, Interconnect::GigE10);

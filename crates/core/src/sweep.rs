@@ -142,7 +142,11 @@ mod tests {
         }
         // Faster network never slower.
         let imp = sweep
-            .improvement_pct(ByteSize::from_mib(256), Interconnect::GigE1, Interconnect::IpoibQdr)
+            .improvement_pct(
+                ByteSize::from_mib(256),
+                Interconnect::GigE1,
+                Interconnect::IpoibQdr,
+            )
             .unwrap();
         assert!(imp >= 0.0, "improvement {imp}");
         let table = sweep.table("test table");

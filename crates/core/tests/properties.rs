@@ -1,35 +1,40 @@
-//! Property-based tests for the micro-benchmark suite.
-
-use proptest::prelude::*;
+//! Property-style tests for the micro-benchmark suite, run over seeded
+//! case grids (the workspace carries no external test dependencies).
 
 use mapreduce::partition::Partitioner;
 use mrbench::partitioners::{AvgPartitioner, RandPartitioner, SkewPartitioner};
 use mrbench::{DataType, KvGenerator};
+use simcore::rng::SplitMix64;
 
 fn no_keys(_: u64, _: &mut Vec<u8>) {}
 
-proptest! {
-    /// Every partitioner conserves the record mass for any workload shape.
-    #[test]
-    fn partitioners_conserve_mass(
-        n_records in 1u64..50_000,
-        n_reducers in 1u32..64,
-        seed in any::<i64>(),
-    ) {
+/// Every partitioner conserves the record mass for any workload shape.
+#[test]
+fn partitioners_conserve_mass() {
+    let mut rng = SplitMix64::new(0x3A55);
+    for _ in 0..64 {
+        let n_records = 1 + rng.next_below(49_999);
+        let n_reducers = 1 + rng.next_below(63) as u32;
+        let seed = rng.next_u64() as i64;
         let mut no_keys = no_keys;
         for counts in [
             AvgPartitioner.assign_counts(n_records, n_reducers, &mut no_keys),
             RandPartitioner::new(seed).assign_counts(n_records, n_reducers, &mut no_keys),
             SkewPartitioner::new(seed).assign_counts(n_records, n_reducers, &mut no_keys),
         ] {
-            prop_assert_eq!(counts.len(), n_reducers as usize);
-            prop_assert_eq!(counts.iter().sum::<u64>(), n_records);
+            assert_eq!(counts.len(), n_reducers as usize);
+            assert_eq!(counts.iter().sum::<u64>(), n_records);
         }
     }
+}
 
-    /// MR-AVG's closed form equals the per-record loop exactly.
-    #[test]
-    fn avg_closed_form_equals_loop(n_records in 1u64..10_000, n_reducers in 1u32..32) {
+/// MR-AVG's closed form equals the per-record loop exactly.
+#[test]
+fn avg_closed_form_equals_loop() {
+    let mut rng = SplitMix64::new(0xA7612);
+    for _ in 0..32 {
+        let n_records = 1 + rng.next_below(9_999);
+        let n_reducers = 1 + rng.next_below(31) as u32;
         let mut p = AvgPartitioner;
         let closed = p.assign_counts(n_records, n_reducers, &mut no_keys);
         let mut looped = vec![0u64; n_reducers as usize];
@@ -37,63 +42,87 @@ proptest! {
         for i in 0..n_records {
             looped[q.partition(&[], i, n_reducers) as usize] += 1;
         }
-        prop_assert_eq!(closed, looped);
+        assert_eq!(closed, looped);
     }
+}
 
-    /// MR-SKEW's head reducers dominate in the documented order for any
-    /// seed, once the sample is large enough for the law of large numbers.
-    #[test]
-    fn skew_orders_head_reducers(seed in any::<i64>(), n_reducers in 4u32..32) {
+/// MR-SKEW's head reducers dominate in the documented order for any
+/// seed, once the sample is large enough for the law of large numbers.
+#[test]
+fn skew_orders_head_reducers() {
+    let mut rng = SplitMix64::new(0x5EE1);
+    for _ in 0..24 {
+        let seed = rng.next_u64() as i64;
+        let n_reducers = 4 + rng.next_below(28) as u32;
         let n = 200_000u64;
         let counts = SkewPartitioner::new(seed).assign_counts(n, n_reducers, &mut no_keys);
-        prop_assert!(counts[0] > counts[1]);
-        prop_assert!(counts[1] > counts[2]);
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
         for r in 3..n_reducers as usize {
-            prop_assert!(counts[2] > counts[r], "r2 {} vs tail {}", counts[2], counts[r]);
+            assert!(
+                counts[2] > counts[r],
+                "r2 {} vs tail {}",
+                counts[2],
+                counts[r]
+            );
         }
         // Reducer 0 carries roughly half the load.
         let frac0 = counts[0] as f64 / n as f64;
-        prop_assert!((0.47..0.57).contains(&frac0), "frac0 = {}", frac0);
+        assert!((0.47..0.57).contains(&frac0), "frac0 = {frac0}");
     }
+}
 
-    /// MR-RAND is reproducible per seed and near-uniform.
-    #[test]
-    fn rand_reproducible_per_seed(seed in any::<i64>()) {
+/// MR-RAND is reproducible per seed and near-uniform.
+#[test]
+fn rand_reproducible_per_seed() {
+    let mut rng = SplitMix64::new(0x2A4D);
+    for _ in 0..24 {
+        let seed = rng.next_u64() as i64;
         let a = RandPartitioner::new(seed).assign_counts(50_000, 8, &mut no_keys);
         let b = RandPartitioner::new(seed).assign_counts(50_000, 8, &mut no_keys);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         for c in &a {
             let dev = (*c as f64 - 6_250.0).abs() / 6_250.0;
-            prop_assert!(dev < 0.10, "counts {:?}", a);
+            assert!(dev < 0.10, "counts {a:?}");
         }
     }
+}
 
-    /// The generator's serialized records always match the wire-length
-    /// formula the simulator charges, for any geometry and both types.
-    #[test]
-    fn generator_wire_length_exact(
-        key in 1usize..4096,
-        value in 1usize..4096,
-        reducers in 1u32..32,
-        ordinal in 0u64..1_000_000,
-        byteswritable in any::<bool>(),
-    ) {
-        let dt = if byteswritable { DataType::BytesWritable } else { DataType::Text };
+/// The generator's serialized records always match the wire-length
+/// formula the simulator charges, for any geometry and both types.
+#[test]
+fn generator_wire_length_exact() {
+    let mut rng = SplitMix64::new(0x3174);
+    for _ in 0..128 {
+        let key = 1 + rng.next_below(4095) as usize;
+        let value = 1 + rng.next_below(4095) as usize;
+        let reducers = 1 + rng.next_below(31) as u32;
+        let ordinal = rng.next_below(1_000_000);
+        let dt = if rng.next_below(2) == 0 {
+            DataType::BytesWritable
+        } else {
+            DataType::Text
+        };
         let gen = KvGenerator::new(key, value, reducers, dt);
         let mut out = Vec::new();
         gen.serialize_record(ordinal, &mut out);
-        prop_assert_eq!(out.len(), gen.key_wire_len() + gen.value_wire_len());
+        assert_eq!(out.len(), gen.key_wire_len() + gen.value_wire_len());
     }
+}
 
-    /// Generated IFile streams always validate and parse back.
-    #[test]
-    fn generator_streams_round_trip(
-        key in 1usize..256,
-        value in 1usize..256,
-        n in 0u64..200,
-        byteswritable in any::<bool>(),
-    ) {
-        let dt = if byteswritable { DataType::BytesWritable } else { DataType::Text };
+/// Generated IFile streams always validate and parse back.
+#[test]
+fn generator_streams_round_trip() {
+    let mut rng = SplitMix64::new(0x121D);
+    for _ in 0..64 {
+        let key = 1 + rng.next_below(255) as usize;
+        let value = 1 + rng.next_below(255) as usize;
+        let n = rng.next_below(200);
+        let dt = if rng.next_below(2) == 0 {
+            DataType::BytesWritable
+        } else {
+            DataType::Text
+        };
         let gen = KvGenerator::new(key, value, 4, dt);
         let stream = gen.build_ifile(n);
         let mut reader = mapreduce::ifile::IFileReader::new(&stream).expect("valid crc");
@@ -101,6 +130,6 @@ proptest! {
         while reader.next().expect("well-formed").is_some() {
             count += 1;
         }
-        prop_assert_eq!(count, n);
+        assert_eq!(count, n);
     }
 }

@@ -9,6 +9,8 @@
 
 use simcore::units::ByteSize;
 
+use crate::faults::FaultPlan;
+
 /// Which MapReduce runtime schedules the job.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EngineKind {
@@ -77,12 +79,26 @@ pub struct JobConf {
     pub shuffle_engine: ShuffleEngineKind,
     /// Master seed for all deterministic randomness in the job.
     pub seed: u64,
-    /// Failure injection: the **first attempt** of each listed map task
-    /// dies during task startup and is re-executed (Hadoop's
-    /// `mapred.map.max.attempts` fault tolerance).
-    pub fail_first_attempt_maps: Vec<u32>,
-    /// Same for reduce tasks.
-    pub fail_first_attempt_reduces: Vec<u32>,
+    /// What goes wrong during the run (see [`FaultPlan`]). The default
+    /// empty plan injects nothing.
+    pub faults: FaultPlan,
+    /// Attempts per task before the job is killed
+    /// (`mapred.{map,reduce}.max.attempts`).
+    pub max_attempts: u32,
+    /// Launch backup attempts for straggling tasks
+    /// (`mapred.{map,reduce}.tasks.speculative.execution`).
+    pub speculative: bool,
+    /// A running task is a speculation candidate once its elapsed time
+    /// exceeds this multiple of the mean completed-task duration.
+    pub speculative_slowdown: f64,
+    /// Shuffle fetch tries per map segment before the reduce attempt
+    /// gives up and fails (`mapreduce.reduce.shuffle.maxfetchfailures`).
+    pub fetch_max_retries: u32,
+    /// Base delay for the fetcher's exponential backoff, in seconds.
+    pub fetch_retry_base_s: f64,
+    /// A node is blacklisted after this many failed task attempts
+    /// (`mapred.max.tracker.failures`).
+    pub node_blacklist_threshold: u32,
 }
 
 impl Default for JobConf {
@@ -105,8 +121,16 @@ impl Default for JobConf {
             shuffle_engine: ShuffleEngineKind::Tcp,
             // Any constant works; 2014 nods to the paper's venue year.
             seed: 0x5EED_2014,
-            fail_first_attempt_maps: Vec::new(),
-            fail_first_attempt_reduces: Vec::new(),
+            faults: FaultPlan::none(),
+            // Hadoop 1.x defaults: mapred.map.max.attempts = 4,
+            // speculative execution on in stock Hadoop but off here so the
+            // clean path stays byte-stable unless explicitly requested.
+            max_attempts: 4,
+            speculative: false,
+            speculative_slowdown: 1.5,
+            fetch_max_retries: 10,
+            fetch_retry_base_s: 1.0,
+            node_blacklist_threshold: 3,
         }
     }
 }
@@ -158,6 +182,22 @@ impl JobConf {
         if self.io_sort_mb.is_zero() {
             return Err("io.sort.mb must be positive".into());
         }
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be at least 1".into());
+        }
+        if self.speculative_slowdown <= 1.0 {
+            return Err("speculative_slowdown must exceed 1.0".into());
+        }
+        if self.fetch_max_retries == 0 {
+            return Err("fetch_max_retries must be at least 1".into());
+        }
+        if !(self.fetch_retry_base_s.is_finite() && self.fetch_retry_base_s > 0.0) {
+            return Err("fetch_retry_base_s must be positive".into());
+        }
+        if self.node_blacklist_threshold == 0 {
+            return Err("node_blacklist_threshold must be at least 1".into());
+        }
+        self.faults.validate()?;
         Ok(())
     }
 }

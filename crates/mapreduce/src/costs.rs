@@ -104,7 +104,7 @@ mod tests {
         let bytes = 1u64 << 30;
         let small = m.map_collect(bytes / 100, bytes, 1.0); // 100 B records
         let large = m.map_collect(bytes / 10_240, bytes, 1.0); // 10 KiB records
-        // The effect is real but modest (paper: 128 s vs 107 s at 16 GB).
+                                                               // The effect is real but modest (paper: 128 s vs 107 s at 16 GB).
         assert!(small > large * 1.2, "small={small} large={large}");
     }
 }

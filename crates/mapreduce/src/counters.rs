@@ -37,6 +37,21 @@ pub struct Counters {
     pub protocol_cpu_seconds: f64,
     /// Task attempts that failed and were re-executed.
     pub failed_task_attempts: u64,
+    /// Shuffle fetch attempts that failed (injected fetch faults plus
+    /// fetches invalidated by node loss).
+    pub failed_fetches: u64,
+    /// Speculative (backup) attempts launched for straggling tasks.
+    pub speculative_launches: u64,
+    /// Tasks whose speculative backup committed before the original.
+    pub speculative_wins: u64,
+    /// Attempts killed by the framework (speculation losers and attempts
+    /// lost to node crashes) — not counted as failures.
+    pub killed_attempts: u64,
+    /// Nodes blacklisted after repeated task failures.
+    pub blacklisted_nodes: u64,
+    /// Completed maps re-executed because a node crash made their output
+    /// unfetchable.
+    pub maps_rerun_after_node_loss: u64,
     /// Map tasks completed.
     pub maps_completed: u64,
     /// Reduce tasks completed.
@@ -83,11 +98,30 @@ impl fmt::Display for Counters {
             "  CPU core-seconds       {:.1} (+{:.1} protocol)",
             self.cpu_core_seconds, self.protocol_cpu_seconds
         )?;
-        writeln!(
-            f,
-            "  Failed task attempts   {}",
-            self.failed_task_attempts
-        )?;
+        writeln!(f, "  Failed task attempts   {}", self.failed_task_attempts)?;
+        if self.failed_fetches > 0 {
+            writeln!(f, "  Failed shuffle fetches {}", self.failed_fetches)?;
+        }
+        if self.speculative_launches > 0 {
+            writeln!(
+                f,
+                "  Speculative attempts   {} launched / {} won",
+                self.speculative_launches, self.speculative_wins
+            )?;
+        }
+        if self.killed_attempts > 0 {
+            writeln!(f, "  Killed attempts        {}", self.killed_attempts)?;
+        }
+        if self.blacklisted_nodes > 0 {
+            writeln!(f, "  Blacklisted nodes      {}", self.blacklisted_nodes)?;
+        }
+        if self.maps_rerun_after_node_loss > 0 {
+            writeln!(
+                f,
+                "  Maps re-run (node loss) {}",
+                self.maps_rerun_after_node_loss
+            )?;
+        }
         write!(
             f,
             "  Tasks completed        {} maps / {} reduces",

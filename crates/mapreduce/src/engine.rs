@@ -5,11 +5,21 @@
 //! the earliest pending completion across all sub-simulators, advances
 //! every clock to it, and routes the completion to the owning task, which
 //! responds by submitting its next CPU burst, disk I/O, or network flow.
-//! Heartbeats and 1 Hz resource-monitor ticks run as control events on the
-//! same timeline.
+//! Heartbeats, 1 Hz resource-monitor ticks, and planned node crashes run
+//! as control events on the same timeline.
 //!
-//! Everything is deterministic: same [`JobSpec`] + seed ⇒ identical result
-//! to the nanosecond.
+//! Tasks execute as **attempts**: every launch (first try, retry after a
+//! failure, or speculative backup) occupies a fresh attempt slot, and
+//! correlation tags key on the slot so a killed attempt's in-flight
+//! completions are recognized as stale and dropped. The fault-tolerance
+//! rules mirror Hadoop's JobTracker: a task that fails `max_attempts`
+//! times kills the job; a crashed node's running attempts die and its
+//! committed map outputs are re-executed elsewhere; nodes accumulating
+//! failures are blacklisted; and (optionally) straggling tasks get a
+//! speculative backup whose first finisher wins.
+//!
+//! Everything is deterministic: same [`JobSpec`] + seed (and the same
+//! [`crate::faults::FaultPlan`]) ⇒ identical result to the nanosecond.
 
 use cluster::{Cluster, NodeSpec};
 use simcore::event::EventQueue;
@@ -20,26 +30,88 @@ use simnet::{Interconnect, Network, NetworkMonitor, ProtocolModel, Topology};
 use crate::conf::EngineKind;
 use crate::costs::CostModel;
 use crate::counters::Counters;
+use crate::faults::{FailureDiag, FaultInjector, JobOutcome};
 use crate::job::{JobResult, JobSpec, PartitionerFactory, TaskTiming};
 use crate::schedule::Scheduler;
 use crate::shuffle::rdma::ShuffleModel;
 use crate::shuffle::ShuffleRegistry;
 use crate::task::map::MapTask;
 use crate::task::reduce::ReduceTask;
-use crate::task::{untag, Env, Note};
+use crate::task::{tag, untag, Env, Note, Stage};
 
 enum Task {
     Map(MapTask),
     Reduce(ReduceTask),
-    /// An attempt doomed by failure injection: it occupies its slot for
-    /// the startup time, then dies; the engine re-queues the task.
-    Doomed { is_map: bool, index: u32, node: usize },
+    /// An attempt doomed by failure injection: it occupies its slot while
+    /// burning startup CPU, then dies; the engine re-queues the task.
+    Doomed,
+}
+
+impl Task {
+    fn is_done(&self) -> bool {
+        match self {
+            Task::Map(m) => m.is_done(),
+            Task::Reduce(r) => r.is_done(),
+            Task::Doomed => false,
+        }
+    }
+}
+
+/// Static facts about one attempt slot, kept even after the attempt dies
+/// so stale completions can still be attributed.
+#[derive(Clone, Copy, Debug)]
+struct SlotInfo {
+    is_map: bool,
+    index: u32,
+    node: usize,
+    backup: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
 enum Control {
     Heartbeat,
     MonitorTick,
+    NodeCrash(usize),
+}
+
+/// Splits `self` into `(tasks, env)` so a task state machine can borrow
+/// the sub-simulators while the engine still owns the task table.
+macro_rules! split_env {
+    ($self:ident, $now:expr, $notes:expr) => {{
+        let Engine {
+            tasks,
+            cluster,
+            net,
+            counters,
+            registry,
+            spec,
+            costs,
+            protocol,
+            shuffle_model,
+            injector,
+            timers,
+            ..
+        } = &mut *$self;
+        (
+            tasks,
+            Env {
+                now: $now,
+                cpu: &mut cluster.cpu,
+                disk: &mut cluster.disk,
+                net,
+                counters,
+                conf: &spec.conf,
+                spec,
+                costs,
+                protocol: *protocol,
+                shuffle_model: *shuffle_model,
+                registry,
+                faults: injector,
+                timers,
+                notes: $notes,
+            },
+        )
+    }};
 }
 
 /// Drives one job to completion over a simulated cluster and network.
@@ -55,13 +127,35 @@ pub struct Engine<'f> {
     registry: ShuffleRegistry,
     scheduler: Scheduler,
     counters: Counters,
+    /// Attempt slots, in launch order. `None` = the attempt died or was
+    /// killed; its in-flight completions are dropped as stale.
     tasks: Vec<Option<Task>>,
+    slot_info: Vec<SlotInfo>,
     control: EventQueue<Control>,
+    /// Pure timers (fetch-retry backoff); payloads are correlation tags.
+    timers: EventQueue<u64>,
     seeds: SeedFactory,
+    injector: FaultInjector,
     reduces_done: u32,
     last_reduce_finish: SimTime,
-    /// Attempt counts per task slot (for failure injection).
+    /// Attempts launched per task id (map index, or `num_maps + reduce`).
     attempts: Vec<u32>,
+    /// Failed attempts per task id, against `max_attempts`.
+    failures: Vec<u32>,
+    /// Whether each task has committed (and its result is still valid).
+    task_done: Vec<bool>,
+    /// Whether each task already received a speculative backup.
+    speculated: Vec<bool>,
+    /// Failed attempts per node, for blacklisting.
+    node_failures: Vec<u32>,
+    /// Set when the job aborts; the event loop drains out.
+    failed: Option<FailureDiag>,
+    /// Last instant the event loop processed (for failure diagnostics).
+    clock: SimTime,
+    /// Completed-attempt duration sums/counts, `[maps, reduces]`, feeding
+    /// the speculation threshold.
+    dur_sum: [f64; 2],
+    dur_n: [u32; 2],
 }
 
 impl<'f> Engine<'f> {
@@ -75,6 +169,20 @@ impl<'f> Engine<'f> {
         interconnect: Interconnect,
     ) -> Self {
         spec.validate().expect("invalid job spec");
+        for c in &spec.conf.faults.node_crashes {
+            assert!(
+                c.node < n_slaves,
+                "crash plan names node {} of {n_slaves}",
+                c.node
+            );
+        }
+        for s in &spec.conf.faults.node_slowdowns {
+            assert!(
+                s.node < n_slaves,
+                "slowdown plan names node {} of {n_slaves}",
+                s.node
+            );
+        }
         let mut cluster = Cluster::new(node_spec.clone(), n_slaves);
         // Task JVM heaps are wired memory: the OS page cache only gets
         // what is left. MRv1 reserves a heap per slot; YARN reserves the
@@ -87,7 +195,7 @@ impl<'f> Engine<'f> {
             EngineKind::Yarn => {
                 let pool = (node_spec.memory.as_bytes()
                     / spec.conf.container_memory.as_bytes().max(1))
-                    .min(u64::from(node_spec.cores));
+                .min(u64::from(node_spec.cores));
                 pool * spec.conf.container_memory.as_bytes()
             }
         };
@@ -107,6 +215,7 @@ impl<'f> Engine<'f> {
         let n_tasks = (spec.conf.num_maps + spec.conf.num_reduces) as usize;
         let shuffle_model = ShuffleModel::for_kind(spec.conf.shuffle_engine);
         let seeds = SeedFactory::new(spec.conf.seed);
+        let injector = FaultInjector::new(spec.conf.faults.clone(), spec.conf.seed);
         Engine {
             protocol: interconnect.model(),
             costs: CostModel::calibrated(),
@@ -118,12 +227,23 @@ impl<'f> Engine<'f> {
             registry,
             scheduler,
             counters: Counters::default(),
-            tasks: (0..n_tasks).map(|_| None).collect(),
+            tasks: Vec::new(),
+            slot_info: Vec::new(),
             control: EventQueue::new(),
+            timers: EventQueue::new(),
             seeds,
+            injector,
             reduces_done: 0,
             last_reduce_finish: SimTime::ZERO,
             attempts: vec![0; n_tasks],
+            failures: vec![0; n_tasks],
+            task_done: vec![false; n_tasks],
+            speculated: vec![false; n_tasks],
+            node_failures: vec![0; n_slaves],
+            failed: None,
+            clock: SimTime::ZERO,
+            dur_sum: [0.0; 2],
+            dur_n: [0; 2],
             spec,
         }
     }
@@ -144,25 +264,42 @@ impl<'f> Engine<'f> {
         self.cluster.disk.disable_page_cache();
     }
 
-    /// Run the job to completion.
+    /// Run the job to completion (or until it exhausts its fault budget
+    /// and aborts with [`JobOutcome::Failed`]).
     pub fn run(mut self) -> JobResult {
         // Job setup (JobTracker submission, setup task, split computation).
         let setup = SimDuration::from_secs_f64(self.costs.job_overhead_s);
-        self.control.schedule(SimTime::ZERO + setup, Control::Heartbeat);
         self.control
-            .schedule(SimTime::ZERO + SimDuration::from_secs(1), Control::MonitorTick);
+            .schedule(SimTime::ZERO + setup, Control::Heartbeat);
+        self.control.schedule(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            Control::MonitorTick,
+        );
+        let crashes = self.spec.conf.faults.node_crashes.clone();
+        for c in &crashes {
+            self.control.schedule(
+                SimTime::from_secs_f64(c.at_secs),
+                Control::NodeCrash(c.node),
+            );
+        }
 
         let num_reduces = self.spec.conf.num_reduces;
         let mut guard: u64 = 0;
-        while self.reduces_done < num_reduces {
+        while self.reduces_done < num_reduces && self.failed.is_none() {
             guard += 1;
             assert!(
                 guard < 500_000_000,
                 "engine event-count guard tripped: likely stall"
             );
-            let now = self
-                .next_time()
-                .expect("no pending events but job incomplete");
+            let Some(now) = self.next_time() else {
+                // Nothing pending but work outstanding: defensive abort
+                // instead of a panic (should be unreachable — blacklisting
+                // always leaves one schedulable node).
+                let at = self.clock;
+                self.fail(at, "simulation stalled with no pending events".into(), None);
+                break;
+            };
+            self.clock = now;
             // Advance every sub-simulator to the common instant.
             let cpu_done = self.cluster.cpu.advance_to(now);
             let disk_done = self.cluster.disk.advance_to(now);
@@ -174,16 +311,28 @@ impl<'f> Engine<'f> {
                 match ev {
                     Control::Heartbeat => {
                         self.do_schedule(now);
+                        self.maybe_speculate(now);
                         let hb = self.scheduler.heartbeat();
                         self.control.schedule(now + hb, Control::Heartbeat);
                     }
                     Control::MonitorTick => {
-                        self.cluster.cpu_monitor.maybe_sample(now, &mut self.cluster.cpu);
+                        self.cluster
+                            .cpu_monitor
+                            .maybe_sample(now, &mut self.cluster.cpu);
                         self.net_monitor.maybe_sample(now, &mut self.net);
                         self.control
                             .schedule(now + SimDuration::from_secs(1), Control::MonitorTick);
                     }
+                    Control::NodeCrash(node) => {
+                        self.handle_node_crash(node, now);
+                    }
                 }
+            }
+
+            // Timers due now (fetch-retry backoffs).
+            while self.timers.peek_time() == Some(now) {
+                let (_, t) = self.timers.pop().expect("peeked timer");
+                self.dispatch(t, now);
             }
 
             // Route completions to their tasks.
@@ -208,6 +357,7 @@ impl<'f> Engine<'f> {
             self.cluster.disk.next_event_time(),
             self.net.next_event_time(),
             self.control.peek_time(),
+            self.timers.peek_time(),
         ]
         .into_iter()
         .flatten()
@@ -217,62 +367,51 @@ impl<'f> Engine<'f> {
         best
     }
 
-    fn dispatch(&mut self, tag: u64, now: SimTime) {
-        let Some((task_id, stage, seq)) = untag(tag) else {
+    /// Task-id for the per-task bookkeeping vectors.
+    fn task_id(&self, is_map: bool, index: u32) -> usize {
+        if is_map {
+            index as usize
+        } else {
+            (self.spec.conf.num_maps + index) as usize
+        }
+    }
+
+    /// Attempts of a task still executing (excludes committed attempts).
+    fn live_attempts(&self, is_map: bool, index: u32) -> usize {
+        (0..self.tasks.len())
+            .filter(|&s| {
+                let si = self.slot_info[s];
+                si.is_map == is_map
+                    && si.index == index
+                    && self.tasks[s].as_ref().is_some_and(|t| !t.is_done())
+            })
+            .count()
+    }
+
+    fn dispatch(&mut self, tag_: u64, now: SimTime) {
+        if self.failed.is_some() {
+            return;
+        }
+        let Some((slot, stage, seq)) = untag(tag_) else {
             return; // sink work (sender-side protocol processing)
         };
-        // A doomed attempt dies the moment its startup completes: count
-        // the failure, free the slot, and put the task back in the queue.
-        if matches!(
-            self.tasks[task_id as usize],
-            Some(Task::Doomed { .. })
-        ) {
-            let Some(Task::Doomed { is_map, index, node }) =
-                self.tasks[task_id as usize].take()
-            else {
-                unreachable!("matched above");
-            };
-            self.counters.failed_task_attempts += 1;
-            self.scheduler.on_task_done(is_map, node);
-            self.scheduler.requeue(is_map, index);
-            self.do_schedule(now);
+        let s = slot as usize;
+        if s >= self.tasks.len() || self.tasks[s].is_none() {
+            return; // stale completion for a killed attempt
+        }
+        // A doomed attempt dies the moment its startup burst completes.
+        if matches!(self.tasks[s], Some(Task::Doomed)) {
+            self.tasks[s] = None;
+            self.on_attempt_failed(slot, now);
             return;
         }
         let mut notes = Vec::new();
         {
-            let Engine {
-                tasks,
-                cluster,
-                net,
-                counters,
-                registry,
-                spec,
-                costs,
-                protocol,
-                shuffle_model,
-                ..
-            } = &mut *self;
-            let mut env = Env {
-                now,
-                cpu: &mut cluster.cpu,
-                disk: &mut cluster.disk,
-                net,
-                counters,
-                conf: &spec.conf,
-                spec,
-                costs,
-                protocol: *protocol,
-                shuffle_model: *shuffle_model,
-                registry,
-                notes: &mut notes,
-            };
-            match tasks[task_id as usize]
-                .as_mut()
-                .unwrap_or_else(|| panic!("event for unlaunched task {task_id}"))
-            {
+            let (tasks, mut env) = split_env!(self, now, &mut notes);
+            match tasks[s].as_mut().expect("checked above") {
                 Task::Map(m) => m.on_event(stage, seq, &mut env),
                 Task::Reduce(r) => r.on_event(stage, seq, &mut env),
-                Task::Doomed { .. } => unreachable!("handled above"),
+                Task::Doomed => unreachable!("handled above"),
             }
         }
         self.handle_notes(notes, now);
@@ -286,49 +425,152 @@ impl<'f> Engine<'f> {
                     Note::MapOutputReady(map) => {
                         self.notify_reducers(map, now, &mut notes);
                     }
-                    Note::TaskFinished { is_map, node } => {
-                        self.scheduler.on_task_done(is_map, node);
-                        if !is_map {
-                            self.reduces_done += 1;
-                            self.last_reduce_finish = now;
+                    Note::TaskFinished { slot } => {
+                        self.on_task_finished(slot, now);
+                    }
+                    Note::AttemptFailed { slot } => {
+                        let s = slot as usize;
+                        if self.tasks[s].is_some() {
+                            self.tasks[s] = None;
+                            self.on_attempt_failed(slot, now);
                         }
-                        // Out-of-band heartbeat: reuse the slot at once.
-                        self.do_schedule(now);
                     }
                 }
             }
         }
     }
 
+    fn on_task_finished(&mut self, slot: u32, now: SimTime) {
+        let si = self.slot_info[slot as usize];
+        let task = self.task_id(si.is_map, si.index);
+        self.task_done[task] = true;
+        self.scheduler.on_task_done(si.is_map, si.node);
+        // Completed-attempt durations feed the straggler threshold.
+        let kind = usize::from(!si.is_map);
+        self.dur_sum[kind] += self.slot_duration(slot);
+        self.dur_n[kind] += 1;
+        if si.backup {
+            self.counters.speculative_wins += 1;
+        }
+        // First finisher wins: kill any sibling (speculative) attempt.
+        for s in 0..self.tasks.len() {
+            if s == slot as usize || self.tasks[s].is_none() {
+                continue;
+            }
+            let other = self.slot_info[s];
+            if other.is_map == si.is_map && other.index == si.index {
+                self.tasks[s] = None;
+                self.counters.killed_attempts += 1;
+                self.scheduler.release_slot(other.is_map, other.node);
+            }
+        }
+        if !si.is_map {
+            self.reduces_done += 1;
+            self.last_reduce_finish = now;
+        }
+        // Out-of-band heartbeat: reuse the slot at once.
+        self.do_schedule(now);
+    }
+
+    /// An attempt failed (doomed startup or exhausted fetch retries):
+    /// count it, maybe blacklist the node, and either re-queue the task
+    /// or — past `max_attempts` — kill the whole job, exactly like the
+    /// JobTracker.
+    fn on_attempt_failed(&mut self, slot: u32, now: SimTime) {
+        let si = self.slot_info[slot as usize];
+        let task = self.task_id(si.is_map, si.index);
+        self.counters.failed_task_attempts += 1;
+        self.failures[task] += 1;
+        self.scheduler.release_slot(si.is_map, si.node);
+        self.node_failures[si.node] += 1;
+        if self.node_failures[si.node] >= self.spec.conf.node_blacklist_threshold
+            && self.scheduler.blacklist(si.node)
+        {
+            self.counters.blacklisted_nodes += 1;
+        }
+        if self.failures[task] >= self.spec.conf.max_attempts {
+            let kind = if si.is_map { "map" } else { "reduce" };
+            self.fail(
+                now,
+                format!(
+                    "{kind} task {} failed {} of {} allowed attempts",
+                    si.index, self.failures[task], self.spec.conf.max_attempts
+                ),
+                Some((si.is_map, si.index)),
+            );
+            return;
+        }
+        if !self.task_done[task] && self.live_attempts(si.is_map, si.index) == 0 {
+            self.scheduler.requeue(si.is_map, si.index);
+        }
+        self.do_schedule(now);
+    }
+
+    /// A planned node crash fires: the node leaves the cluster, its
+    /// running attempts die, and its committed map outputs become
+    /// unfetchable — those maps re-run elsewhere (Hadoop's map-output-lost
+    /// path). Completed reduces are safe (their output already left).
+    fn handle_node_crash(&mut self, node: usize, now: SimTime) {
+        if self.failed.is_some() || self.scheduler.is_dead(node) {
+            return;
+        }
+        self.scheduler.mark_dead(node);
+        let mut orphaned: Vec<(bool, u32)> = Vec::new();
+        for s in 0..self.tasks.len() {
+            if self.slot_info[s].node != node {
+                continue;
+            }
+            let Some(t) = &self.tasks[s] else { continue };
+            let was_running = !t.is_done();
+            self.tasks[s] = None;
+            let si = self.slot_info[s];
+            if was_running {
+                self.counters.killed_attempts += 1;
+                orphaned.push((si.is_map, si.index));
+            }
+        }
+        let lost = self.registry.unregister_node(node);
+        let raw_record = (self.spec.key_size + self.spec.value_size) as u64;
+        for (m, out) in &lost {
+            let records: u64 = out.partition_records.iter().sum();
+            self.counters.maps_rerun_after_node_loss += 1;
+            self.counters.maps_completed -= 1;
+            self.counters.map_output_records -= records;
+            self.counters.map_output_bytes -= raw_record * records;
+            self.counters.map_output_materialized_bytes -= out.total_bytes();
+            let task = self.task_id(true, *m);
+            self.task_done[task] = false;
+            self.scheduler.map_result_lost();
+            orphaned.push((true, *m));
+        }
+        if self.scheduler.healthy_nodes() == 0 {
+            self.fail(now, "every slave node has crashed".into(), None);
+            return;
+        }
+        orphaned.sort_unstable_by_key(|&(is_map, idx)| (!is_map, idx));
+        orphaned.dedup();
+        for (is_map, index) in orphaned {
+            let task = self.task_id(is_map, index);
+            if !self.task_done[task] && self.live_attempts(is_map, index) == 0 {
+                self.scheduler.requeue(is_map, index);
+            }
+        }
+        // Surviving reducers drop queued fetches of the lost segments
+        // (in-flight transfers fail their validity check on completion;
+        // already-copied segments are kept).
+        for (m, _) in &lost {
+            for t in self.tasks.iter_mut().flatten() {
+                if let Task::Reduce(r) = t {
+                    r.on_map_output_lost(*m);
+                }
+            }
+        }
+        self.do_schedule(now);
+    }
+
     fn notify_reducers(&mut self, map: u32, now: SimTime, notes: &mut Vec<Note>) {
-        let num_maps = self.spec.conf.num_maps as usize;
-        let Engine {
-            tasks,
-            cluster,
-            net,
-            counters,
-            registry,
-            spec,
-            costs,
-            protocol,
-            shuffle_model,
-            ..
-        } = &mut *self;
-        let mut env = Env {
-            now,
-            cpu: &mut cluster.cpu,
-            disk: &mut cluster.disk,
-            net,
-            counters,
-            conf: &spec.conf,
-            spec,
-            costs,
-            protocol: *protocol,
-            shuffle_model: *shuffle_model,
-            registry,
-            notes,
-        };
-        for slot in tasks.iter_mut().skip(num_maps) {
+        let (tasks, mut env) = split_env!(self, now, notes);
+        for slot in tasks.iter_mut() {
             if let Some(Task::Reduce(r)) = slot.as_mut() {
                 r.on_map_output(map, &mut env);
             }
@@ -336,110 +578,149 @@ impl<'f> Engine<'f> {
     }
 
     fn do_schedule(&mut self, now: SimTime) {
+        if self.failed.is_some() {
+            return;
+        }
         let launches = self.scheduler.tick();
         if launches.is_empty() {
             return;
         }
         let mut notes = Vec::new();
         for l in launches {
-            let num_maps = self.spec.conf.num_maps;
-            let task_id = if l.is_map { l.index } else { num_maps + l.index };
-            let attempt = self.attempts[task_id as usize];
-            self.attempts[task_id as usize] += 1;
-            let fail_list = if l.is_map {
-                &self.spec.conf.fail_first_attempt_maps
-            } else {
-                &self.spec.conf.fail_first_attempt_reduces
-            };
-            if attempt == 0 && fail_list.contains(&l.index) {
-                // The attempt burns its slot for the startup time, then
-                // dies (e.g. a crashing task JVM).
-                self.tasks[task_id as usize] = Some(Task::Doomed {
-                    is_map: l.is_map,
-                    index: l.index,
-                    node: l.node,
-                });
-                self.cluster.cpu.submit(
-                    now,
-                    l.node,
-                    self.costs.jvm_startup_s,
-                    crate::task::tag(task_id, crate::task::Stage::Jvm, 0),
-                );
-                continue;
-            }
-            let jitter = self.task_jitter(l.is_map, l.index);
-            if l.is_map {
-                let counts = self.partition_counts(l.index);
-                let Engine {
-                    tasks,
-                    cluster,
-                    net,
-                    counters,
-                    registry,
-                    spec,
-                    costs,
-                    protocol,
-                    shuffle_model,
-                    ..
-                } = &mut *self;
-                let mut env = Env {
-                    now,
-                    cpu: &mut cluster.cpu,
-                    disk: &mut cluster.disk,
-                    net,
-                    counters,
-                    conf: &spec.conf,
-                    spec,
-                    costs,
-                    protocol: *protocol,
-                    shuffle_model: *shuffle_model,
-                    registry,
-                    notes: &mut notes,
-                };
-                let task = MapTask::launch(l.index, l.node, counts, jitter, &mut env);
-                tasks[l.index as usize] = Some(Task::Map(task));
-            } else {
-                let task_id = num_maps + l.index;
-                let output_bytes = (self.spec_output_bytes_per_reduce() as f64) as u64;
-                let Engine {
-                    tasks,
-                    cluster,
-                    net,
-                    counters,
-                    registry,
-                    spec,
-                    costs,
-                    protocol,
-                    shuffle_model,
-                    ..
-                } = &mut *self;
-                let mut env = Env {
-                    now,
-                    cpu: &mut cluster.cpu,
-                    disk: &mut cluster.disk,
-                    net,
-                    counters,
-                    conf: &spec.conf,
-                    spec,
-                    costs,
-                    protocol: *protocol,
-                    shuffle_model: *shuffle_model,
-                    registry,
-                    notes: &mut notes,
-                };
-                let task = ReduceTask::launch(
-                    l.index,
-                    task_id,
-                    l.node,
-                    spec.conf.num_maps,
-                    output_bytes,
-                    jitter,
-                    &mut env,
-                );
-                tasks[task_id as usize] = Some(Task::Reduce(task));
-            }
+            self.launch_attempt(l.is_map, l.index, l.node, false, now, &mut notes);
         }
         self.handle_notes(notes, now);
+    }
+
+    /// Start one attempt of a task in a fresh slot.
+    fn launch_attempt(
+        &mut self,
+        is_map: bool,
+        index: u32,
+        node: usize,
+        backup: bool,
+        now: SimTime,
+        notes: &mut Vec<Note>,
+    ) {
+        let task = self.task_id(is_map, index);
+        let attempt = self.attempts[task];
+        self.attempts[task] += 1;
+        let slot = self.tasks.len() as u32;
+        self.slot_info.push(SlotInfo {
+            is_map,
+            index,
+            node,
+            backup,
+        });
+        if self.injector.fails_at_startup(is_map, index, attempt) {
+            // The deterministic fail-first hook: the attempt dies right
+            // after its JVM launch.
+            self.tasks.push(Some(Task::Doomed));
+            self.cluster.cpu.submit(
+                now,
+                node,
+                self.costs.jvm_startup_s,
+                tag(slot, Stage::Jvm, 0),
+            );
+            return;
+        }
+        // Probabilistically doomed attempts run their full pipeline and
+        // die at commit, wasting the entire attempt.
+        let doomed = self.injector.fails_at_commit(is_map, index, attempt);
+        let jitter = self.task_jitter(is_map, index, attempt) * self.injector.slowdown(node);
+        if is_map {
+            let counts = self.partition_counts(index);
+            let (tasks, mut env) = split_env!(self, now, notes);
+            let t = MapTask::launch(slot, index, node, counts, jitter, doomed, &mut env);
+            tasks.push(Some(Task::Map(t)));
+        } else {
+            let output_bytes = self.spec_output_bytes_per_reduce();
+            let num_maps = self.spec.conf.num_maps;
+            let (tasks, mut env) = split_env!(self, now, notes);
+            let t = ReduceTask::launch(
+                index,
+                slot,
+                node,
+                num_maps,
+                output_bytes,
+                jitter,
+                doomed,
+                &mut env,
+            );
+            tasks.push(Some(Task::Reduce(t)));
+        }
+    }
+
+    /// Hadoop-style speculative execution, evaluated on each heartbeat:
+    /// a task whose only attempt has run `speculative_slowdown` times
+    /// longer than the mean completed duration of its kind gets a backup
+    /// attempt on (preferably) another node. First finisher wins.
+    fn maybe_speculate(&mut self, now: SimTime) {
+        if !self.spec.conf.speculative || self.failed.is_some() {
+            return;
+        }
+        let mut candidates: Vec<(bool, u32, usize)> = Vec::new();
+        for s in 0..self.tasks.len() {
+            let Some(t) = &self.tasks[s] else { continue };
+            if t.is_done() || matches!(t, Task::Doomed) {
+                continue;
+            }
+            let si = self.slot_info[s];
+            let task = self.task_id(si.is_map, si.index);
+            if self.task_done[task] || self.speculated[task] {
+                continue;
+            }
+            let kind = usize::from(!si.is_map);
+            if self.dur_n[kind] == 0 {
+                continue;
+            }
+            let mean = self.dur_sum[kind] / f64::from(self.dur_n[kind]);
+            let start = match t {
+                Task::Map(m) => m.start,
+                Task::Reduce(r) => r.start,
+                Task::Doomed => continue,
+            };
+            let elapsed = now.since(start).as_secs_f64();
+            if elapsed > self.spec.conf.speculative_slowdown * mean
+                && self.live_attempts(si.is_map, si.index) == 1
+            {
+                candidates.push((si.is_map, si.index, si.node));
+            }
+        }
+        let mut notes = Vec::new();
+        for (is_map, index, node) in candidates {
+            let task = self.task_id(is_map, index);
+            if self.speculated[task] {
+                continue;
+            }
+            let Some(backup_node) = self.scheduler.reserve_for_backup(is_map, node) else {
+                continue;
+            };
+            self.speculated[task] = true;
+            self.counters.speculative_launches += 1;
+            self.launch_attempt(is_map, index, backup_node, true, now, &mut notes);
+        }
+        if !notes.is_empty() {
+            self.handle_notes(notes, now);
+        }
+    }
+
+    fn fail(&mut self, now: SimTime, reason: String, task: Option<(bool, u32)>) {
+        if self.failed.is_none() {
+            self.failed = Some(FailureDiag {
+                reason,
+                task,
+                at: now,
+            });
+        }
+    }
+
+    fn slot_duration(&self, slot: u32) -> f64 {
+        match &self.tasks[slot as usize] {
+            Some(Task::Map(m)) => m.finish.expect("finished").since(m.start).as_secs_f64(),
+            Some(Task::Reduce(r)) => r.finish.expect("finished").since(r.start).as_secs_f64(),
+            _ => 0.0,
+        }
     }
 
     /// Average reduce-output bytes per reducer for non-null output formats.
@@ -453,46 +734,51 @@ impl<'f> Engine<'f> {
 
     /// Deterministic per-task runtime variability: real task durations
     /// scatter by a few percent (JIT warm-up, GC, OS scheduling). Drawn
-    /// uniformly from [0.97, 1.03] off the job seed.
-    fn task_jitter(&self, is_map: bool, index: u32) -> f64 {
-        let label = if is_map {
-            format!("jitter-map-{index}")
+    /// uniformly from [0.97, 1.03] off the job seed; re-executed attempts
+    /// draw fresh values.
+    fn task_jitter(&self, is_map: bool, index: u32, attempt: u32) -> f64 {
+        let kind = if is_map { "map" } else { "reduce" };
+        let label = if attempt == 0 {
+            format!("jitter-{kind}-{index}")
         } else {
-            format!("jitter-reduce-{index}")
+            format!("jitter-{kind}-{index}-attempt-{attempt}")
         };
         let mut rng = self.seeds.stream(&label);
         0.97 + 0.06 * rng.next_f64()
     }
 
     /// Per-reducer record counts for map `index`, via the job's
-    /// partitioner — the exact code path the real suite runs.
+    /// partitioner — the exact code path the real suite runs. Keyed by
+    /// the map index alone, so a re-executed map regenerates identical
+    /// output (determinism of record content across attempts).
     fn partition_counts(&self, index: u32) -> Vec<u64> {
         let seed = self.seeds.seed_for(&format!("map-{index}"));
         let mut partitioner = self.factory.create(index, seed);
         let n_reducers = self.spec.conf.num_reduces;
         let key_size = self.spec.key_size;
-        let counts = partitioner.assign_counts(
-            self.spec.pairs_per_map,
-            n_reducers,
-            &mut |ordinal, buf| synthetic_key(ordinal, n_reducers, key_size, buf),
-        );
+        let counts =
+            partitioner.assign_counts(self.spec.pairs_per_map, n_reducers, &mut |ordinal, buf| {
+                synthetic_key(ordinal, n_reducers, key_size, buf)
+            });
         debug_assert_eq!(counts.iter().sum::<u64>(), self.spec.pairs_per_map);
         counts
     }
 
     fn finish(self) -> JobResult {
         let overhead = SimDuration::from_secs_f64(self.costs.job_overhead_s);
-        let end = self.last_reduce_finish + overhead;
+        let end = match &self.failed {
+            Some(d) => d.at + overhead,
+            None => self.last_reduce_finish + overhead,
+        };
 
         let mut tasks = Vec::new();
         let mut map_phase_end = SimTime::ZERO;
         let mut shuffle_end = SimTime::ZERO;
         for t in self.tasks.iter().flatten() {
             match t {
-                Task::Doomed { .. } => unreachable!("doomed attempts never survive to finish"),
+                Task::Doomed => continue, // still pending when the job aborted
                 Task::Map(m) => {
-                    debug_assert!(m.is_done());
-                    let finish = m.finish.expect("map finished");
+                    let Some(finish) = m.finish else { continue };
                     map_phase_end = map_phase_end.max(finish);
                     tasks.push(TaskTiming {
                         is_map: true,
@@ -503,11 +789,10 @@ impl<'f> Engine<'f> {
                     });
                 }
                 Task::Reduce(r) => {
-                    debug_assert!(r.is_done());
-                    let finish = r.finish.expect("reduce finished");
                     if let Some(se) = r.shuffle_end {
                         shuffle_end = shuffle_end.max(se);
                     }
+                    let Some(finish) = r.finish else { continue };
                     tasks.push(TaskTiming {
                         is_map: false,
                         index: r.index,
@@ -518,6 +803,9 @@ impl<'f> Engine<'f> {
                 }
             }
         }
+        // Slots are in launch order; reports expect maps (by index) then
+        // reduces (by index), as the pre-attempt engine produced.
+        tasks.sort_by_key(|t| (!t.is_map, t.index));
 
         let n = self.cluster.n_slaves();
         let cpu_series = (0..n)
@@ -528,6 +816,12 @@ impl<'f> Engine<'f> {
             .collect();
 
         JobResult {
+            outcome: if self.failed.is_some() {
+                JobOutcome::Failed
+            } else {
+                JobOutcome::Succeeded
+            },
+            failure: self.failed,
             job_time: end.since(SimTime::ZERO),
             map_phase_end,
             shuffle_end,

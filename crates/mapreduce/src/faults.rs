@@ -1,0 +1,303 @@
+//! Fault injection and fault-tolerance primitives.
+//!
+//! Real Hadoop deployments are defined as much by their failure machinery
+//! (task re-execution, shuffle fetch retries, speculative execution) as by
+//! their happy-path throughput. This module supplies the deterministic
+//! fault *plan* — what goes wrong, and when — while the engine implements
+//! the *tolerance* that responds: attempt retries with a per-task cap,
+//! fetcher retry with exponential backoff, node blacklisting, map re-run
+//! after node loss, and speculative backup attempts.
+//!
+//! Everything here is a pure function of the job seed and the plan: two
+//! runs with the same `JobSpec` + `FaultPlan` produce bit-identical
+//! results, and an empty plan leaves the simulation untouched.
+
+use simcore::rng::{SeedFactory, SplitMix64};
+use simcore::time::SimTime;
+
+/// A whole-node crash at a simulated instant. All attempts running on the
+/// node die, its committed map outputs become unfetchable (Hadoop's
+/// map-output-lost semantics), and the node never schedules work again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeCrash {
+    /// The slave that crashes.
+    pub node: usize,
+    /// Simulated time of the crash, in seconds.
+    pub at_secs: f64,
+}
+
+/// A straggler node: every attempt launched on it runs `factor` times
+/// slower than the cost model predicts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSlowdown {
+    /// The slow slave.
+    pub node: usize,
+    /// Runtime multiplier (`> 1.0` is slower).
+    pub factor: f64,
+}
+
+/// Seeded, deterministic description of everything that goes wrong during
+/// a job. The default (all-zero/empty) plan injects nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that any given map attempt dies during execution.
+    pub map_failure_prob: f64,
+    /// Probability that any given reduce attempt dies during execution.
+    pub reduce_failure_prob: f64,
+    /// Probability that any single shuffle fetch attempt fails and must
+    /// back off and retry.
+    pub fetch_failure_prob: f64,
+    /// Whole-node crashes at fixed simulated times.
+    pub node_crashes: Vec<NodeCrash>,
+    /// Per-node straggler factors.
+    pub node_slowdowns: Vec<NodeSlowdown>,
+    /// The **first attempt** of each listed map task dies during startup
+    /// (the deterministic hook the engine has always supported).
+    pub fail_first_attempt_maps: Vec<u32>,
+    /// Same for reduce tasks.
+    pub fail_first_attempt_reduces: Vec<u32>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Thin deterministic constructor matching the engine's historical
+    /// `fail_first_attempt_{maps,reduces}` hook: the first attempt of
+    /// each listed task dies during task startup.
+    pub fn fail_first_attempts(maps: Vec<u32>, reduces: Vec<u32>) -> Self {
+        FaultPlan {
+            fail_first_attempt_maps: maps,
+            fail_first_attempt_reduces: reduces,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map_failure_prob == 0.0
+            && self.reduce_failure_prob == 0.0
+            && self.fetch_failure_prob == 0.0
+            && self.node_crashes.is_empty()
+            && self.node_slowdowns.is_empty()
+            && self.fail_first_attempt_maps.is_empty()
+            && self.fail_first_attempt_reduces.is_empty()
+    }
+
+    /// Sanity-check the plan, returning the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("map_failure_prob", self.map_failure_prob),
+            ("reduce_failure_prob", self.reduce_failure_prob),
+            ("fetch_failure_prob", self.fetch_failure_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0,1], got {p}"));
+            }
+        }
+        for c in &self.node_crashes {
+            if !c.at_secs.is_finite() || c.at_secs < 0.0 {
+                return Err(format!(
+                    "crash time must be non-negative, got {}",
+                    c.at_secs
+                ));
+            }
+        }
+        for s in &self.node_slowdowns {
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return Err(format!(
+                    "slowdown factor must be positive, got {}",
+                    s.factor
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Draws every fault decision for one job run. Decisions are stateless
+/// hashes of `(job seed, decision label)`, so they do not depend on the
+/// order the engine asks in — a prerequisite for determinism under the
+/// event loop's data-dependent control flow.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seeds: SeedFactory,
+}
+
+impl FaultInjector {
+    /// Injector for `plan` under the job's master `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            seeds: SeedFactory::new(seed),
+        }
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Uniform draw in `[0,1)` for a labelled decision.
+    fn roll(&self, label: &str) -> f64 {
+        SplitMix64::new(self.seeds.seed_for(&format!("fault-{label}"))).next_f64()
+    }
+
+    /// Does attempt number `attempt` (0-based) of the given task die
+    /// during startup? This is the deterministic `fail_first_attempt`
+    /// hook: the listed tasks' first attempts die right after their JVM
+    /// launch, costing only the startup time (the historical behaviour).
+    pub(crate) fn fails_at_startup(&self, is_map: bool, index: u32, attempt: u32) -> bool {
+        let list = if is_map {
+            &self.plan.fail_first_attempt_maps
+        } else {
+            &self.plan.fail_first_attempt_reduces
+        };
+        attempt == 0 && list.contains(&index)
+    }
+
+    /// Does attempt number `attempt` (0-based) of the given task die at
+    /// commit time? Probabilistically doomed attempts run their entire
+    /// pipeline — consuming real CPU, disk, and network — and then die
+    /// just before committing (a task OOM-ing or crashing during output
+    /// commit), so the *whole attempt* is wasted. That is what makes
+    /// failures expensive in proportion to task length: a failed straggler
+    /// or hot-reducer attempt costs its full runtime, exactly the
+    /// skew-amplification effect the fault benchmarks measure.
+    pub(crate) fn fails_at_commit(&self, is_map: bool, index: u32, attempt: u32) -> bool {
+        let p = if is_map {
+            self.plan.map_failure_prob
+        } else {
+            self.plan.reduce_failure_prob
+        };
+        let kind = if is_map { "map" } else { "reduce" };
+        p > 0.0 && self.roll(&format!("task-{kind}-{index}-{attempt}")) < p
+    }
+
+    /// Does try number `try_no` (0-based) of reducer `reduce`'s fetch of
+    /// map `map`'s segment fail?
+    pub(crate) fn fetch_fails(&self, reduce: u32, map: u32, try_no: u32) -> bool {
+        let p = self.plan.fetch_failure_prob;
+        p > 0.0 && self.roll(&format!("fetch-{reduce}-{map}-{try_no}")) < p
+    }
+
+    /// Straggler factor for `node` (1.0 when the node is healthy).
+    pub(crate) fn slowdown(&self, node: usize) -> f64 {
+        self.plan
+            .node_slowdowns
+            .iter()
+            .find(|s| s.node == node)
+            .map_or(1.0, |s| s.factor)
+    }
+}
+
+/// Terminal status of a job run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobOutcome {
+    /// Every task committed; the result is complete.
+    Succeeded,
+    /// A task exhausted its attempts (or the cluster was lost) and the
+    /// JobTracker/AM killed the job.
+    Failed,
+}
+
+/// Why a job failed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureDiag {
+    /// Human-readable description.
+    pub reason: String,
+    /// The task that triggered the abort, as `(is_map, index)`, when one
+    /// specific task was responsible.
+    pub task: Option<(bool, u32)>,
+    /// Simulated time of the abort.
+    pub at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        p.validate().unwrap();
+        let inj = FaultInjector::new(p, 42);
+        for i in 0..32 {
+            assert!(!inj.fails_at_startup(true, i, 0));
+            assert!(!inj.fails_at_commit(true, i, 0));
+            assert!(!inj.fails_at_commit(false, i, 3));
+            assert!(!inj.fetch_fails(0, i, 0));
+            assert_eq!(inj.slowdown(i as usize), 1.0);
+        }
+    }
+
+    #[test]
+    fn fail_first_constructor_matches_lists() {
+        let p = FaultPlan::fail_first_attempts(vec![0, 2], vec![1]);
+        assert!(!p.is_empty());
+        let inj = FaultInjector::new(p, 42);
+        assert!(inj.fails_at_startup(true, 0, 0));
+        assert!(inj.fails_at_startup(true, 2, 0));
+        assert!(!inj.fails_at_startup(true, 1, 0));
+        assert!(
+            !inj.fails_at_startup(true, 0, 1),
+            "only the first attempt dies"
+        );
+        assert!(inj.fails_at_startup(false, 1, 0));
+        assert!(!inj.fails_at_startup(false, 0, 0));
+    }
+
+    #[test]
+    fn probabilistic_failures_are_seeded_and_plausible() {
+        let plan = FaultPlan {
+            map_failure_prob: 0.25,
+            ..FaultPlan::default()
+        };
+        let a = FaultInjector::new(plan.clone(), 7);
+        let b = FaultInjector::new(plan, 7);
+        let mut fails = 0;
+        for i in 0..4000u32 {
+            let f = a.fails_at_commit(true, i, 0);
+            assert_eq!(f, b.fails_at_commit(true, i, 0), "determinism");
+            fails += u32::from(f);
+        }
+        let rate = f64::from(fails) / 4000.0;
+        assert!((0.20..0.30).contains(&rate), "empirical rate {rate}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = FaultPlan::none();
+        p.map_failure_prob = 1.5;
+        assert!(p.validate().is_err());
+        p.map_failure_prob = 0.0;
+        p.node_crashes.push(NodeCrash {
+            node: 0,
+            at_secs: -1.0,
+        });
+        assert!(p.validate().is_err());
+        p.node_crashes.clear();
+        p.node_slowdowns.push(NodeSlowdown {
+            node: 0,
+            factor: 0.0,
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn slowdown_lookup() {
+        let plan = FaultPlan {
+            node_slowdowns: vec![NodeSlowdown {
+                node: 2,
+                factor: 3.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.slowdown(2), 3.0);
+        assert_eq!(inj.slowdown(0), 1.0);
+    }
+}

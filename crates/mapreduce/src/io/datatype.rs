@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn parsing() {
-        assert_eq!("bytes".parse::<DataType>().unwrap(), DataType::BytesWritable);
+        assert_eq!(
+            "bytes".parse::<DataType>().unwrap(),
+            DataType::BytesWritable
+        );
         assert_eq!("Text".parse::<DataType>().unwrap(), DataType::Text);
         assert!("avro".parse::<DataType>().is_err());
     }

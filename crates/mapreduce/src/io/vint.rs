@@ -43,7 +43,11 @@ pub fn write_vlong(out: &mut Vec<u8>, i: i64) {
         len -= 1;
     }
     out.push(len as u8);
-    let len = if len < -120 { -(len + 120) } else { -(len + 112) };
+    let len = if len < -120 {
+        -(len + 120)
+    } else {
+        -(len + 112)
+    };
     for idx in (1..=len).rev() {
         let shift = (idx - 1) * 8;
         out.push(((value >> shift) & 0xFF) as u8);
@@ -70,7 +74,11 @@ pub fn read_vlong(buf: &[u8], pos: &mut usize) -> Result<i64, VIntError> {
         *pos += 1;
         value = (value << 8) | i64::from(b);
     }
-    Ok(if is_negative(first) { value ^ -1 } else { value })
+    Ok(if is_negative(first) {
+        value ^ -1
+    } else {
+        value
+    })
 }
 
 /// Decode a vint (errors are impossible beyond truncation because Hadoop

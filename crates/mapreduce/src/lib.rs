@@ -17,6 +17,8 @@
 //! * [`shuffle`] — map-output registry, page-cache model, and the
 //!   RDMA/MRoIB shuffle engine model.
 //! * [`schedule`] — MRv1 slot and YARN container scheduling.
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`])
+//!   and the job-level outcome types for fault tolerance.
 //! * [`engine`] — the deterministic event-loop driver; start at
 //!   [`engine::run_job`].
 
@@ -27,6 +29,7 @@ pub mod conf;
 pub mod costs;
 pub mod counters;
 pub mod engine;
+pub mod faults;
 pub mod formats;
 pub mod ifile;
 pub mod io;
@@ -40,6 +43,7 @@ pub use conf::{EngineKind, JobConf, ShuffleEngineKind};
 pub use costs::CostModel;
 pub use counters::Counters;
 pub use engine::{run_job, Engine};
+pub use faults::{FailureDiag, FaultPlan, JobOutcome, NodeCrash, NodeSlowdown};
 pub use io::DataType;
 pub use job::{JobResult, JobSpec, PartitionerFactory, TaskTiming};
 pub use partition::{HashPartitioner, HashPartitionerFactory, Partitioner};

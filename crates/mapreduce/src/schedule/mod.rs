@@ -42,6 +42,10 @@ pub struct Scheduler {
     maps_done: u32,
     slowstart: f64,
     rr: usize,
+    /// Crashed nodes: never schedule again, slots gone.
+    dead: Vec<bool>,
+    /// Blacklisted nodes: healthy but excluded from new assignments.
+    blacklisted: Vec<bool>,
 }
 
 impl Scheduler {
@@ -66,6 +70,8 @@ impl Scheduler {
             maps_done: 0,
             slowstart: conf.reduce_slowstart,
             rr: 0,
+            dead: vec![false; n_nodes],
+            blacklisted: vec![false; n_nodes],
         }
     }
 
@@ -80,11 +86,114 @@ impl Scheduler {
 
     /// Record a finished task, freeing its slot/container.
     pub fn on_task_done(&mut self, is_map: bool, node: usize) {
+        if self.dead[node] {
+            return;
+        }
         if is_map {
             self.map_running[node] -= 1;
             self.maps_done += 1;
         } else {
             self.reduce_running[node] -= 1;
+        }
+    }
+
+    /// Free the slot of an attempt that did not complete (failed or was
+    /// killed) without counting a task completion.
+    pub fn release_slot(&mut self, is_map: bool, node: usize) {
+        if self.dead[node] {
+            return;
+        }
+        if is_map {
+            self.map_running[node] -= 1;
+        } else {
+            self.reduce_running[node] -= 1;
+        }
+    }
+
+    /// A previously completed map's output was lost (node crash); its
+    /// completion no longer counts toward reduce slow-start.
+    pub fn map_result_lost(&mut self) {
+        self.maps_done -= 1;
+    }
+
+    /// Take a node out of service permanently. All of its slots vanish;
+    /// the engine kills the attempts that were running there.
+    pub fn mark_dead(&mut self, node: usize) {
+        self.dead[node] = true;
+        self.map_running[node] = 0;
+        self.reduce_running[node] = 0;
+    }
+
+    /// Has `node` crashed?
+    pub fn is_dead(&self, node: usize) -> bool {
+        self.dead[node]
+    }
+
+    /// Exclude `node` from future assignments after repeated task
+    /// failures. Refuses (returning `false`) when it is the last node
+    /// still accepting work, so the job cannot deadlock.
+    pub fn blacklist(&mut self, node: usize) -> bool {
+        if self.dead[node] || self.blacklisted[node] {
+            return false;
+        }
+        if self.schedulable_nodes() <= 1 {
+            return false;
+        }
+        self.blacklisted[node] = true;
+        true
+    }
+
+    /// Is `node` blacklisted?
+    pub fn is_blacklisted(&self, node: usize) -> bool {
+        self.blacklisted[node]
+    }
+
+    /// Nodes that have not crashed.
+    pub fn healthy_nodes(&self) -> usize {
+        self.dead.iter().filter(|d| !**d).count()
+    }
+
+    /// Nodes still accepting new work (alive and not blacklisted).
+    pub fn schedulable_nodes(&self) -> usize {
+        (0..self.n_nodes)
+            .filter(|&n| !self.dead[n] && !self.blacklisted[n])
+            .count()
+    }
+
+    /// Claim a slot for a speculative backup attempt, preferring any node
+    /// other than `avoid` (where the original attempt is running).
+    /// Returns the chosen node, or `None` when no capacity exists.
+    pub fn reserve_for_backup(&mut self, is_map: bool, avoid: usize) -> Option<usize> {
+        let mut fallback = None;
+        for off in 0..self.n_nodes {
+            let node = (self.rr + off) % self.n_nodes;
+            let free = if is_map {
+                self.free_for_map(node)
+            } else {
+                self.free_for_reduce(node)
+            };
+            if !free {
+                continue;
+            }
+            if node == avoid {
+                fallback.get_or_insert(node);
+                continue;
+            }
+            self.rr = (node + 1) % self.n_nodes;
+            self.bump_running(is_map, node);
+            return Some(node);
+        }
+        let node = fallback?;
+        self.rr = (node + 1) % self.n_nodes;
+        self.bump_running(is_map, node);
+        Some(node)
+    }
+
+    fn bump_running(&mut self, is_map: bool, node: usize) {
+        if is_map {
+            self.map_running[node] += 1;
+        } else {
+            self.reduce_running[node] += 1;
         }
     }
 
@@ -96,6 +205,9 @@ impl Scheduler {
     }
 
     fn free_for_map(&self, node: usize) -> bool {
+        if self.dead[node] || self.blacklisted[node] {
+            return false;
+        }
         match self.kind {
             EngineKind::MRv1 => self.map_running[node] < self.map_cap,
             EngineKind::Yarn => {
@@ -105,6 +217,9 @@ impl Scheduler {
     }
 
     fn free_for_reduce(&self, node: usize) -> bool {
+        if self.dead[node] || self.blacklisted[node] {
+            return false;
+        }
         match self.kind {
             EngineKind::MRv1 => self.reduce_running[node] < self.reduce_cap,
             EngineKind::Yarn => {
@@ -168,7 +283,11 @@ impl Scheduler {
                 self.reduce_running[node] += 1;
                 self.pending_reduces.pop_front().expect("pending reduce")
             };
-            launches.push(Launch { is_map, index, node });
+            launches.push(Launch {
+                is_map,
+                index,
+                node,
+            });
         }
     }
 
@@ -290,6 +409,44 @@ mod tests {
         // get priority and refill all four slots.
         assert_eq!(w2.iter().filter(|l| l.is_map).count(), 1);
         assert!(w2.iter().filter(|l| !l.is_map).count() <= 4);
+    }
+
+    #[test]
+    fn dead_nodes_never_receive_work() {
+        let c = conf(8, 2, EngineKind::MRv1);
+        let mut s = Scheduler::new(&c, 2, &NodeSpec::westmere());
+        s.mark_dead(0);
+        assert_eq!(s.healthy_nodes(), 1);
+        let launches = s.tick();
+        assert!(!launches.is_empty());
+        assert!(launches.iter().all(|l| l.node == 1));
+    }
+
+    #[test]
+    fn blacklist_spares_the_last_schedulable_node() {
+        let c = conf(4, 1, EngineKind::MRv1);
+        let mut s = Scheduler::new(&c, 3, &NodeSpec::westmere());
+        assert!(s.blacklist(0));
+        assert!(s.blacklist(1));
+        // Node 2 is the last one accepting work.
+        assert!(!s.blacklist(2));
+        assert!(!s.is_blacklisted(2));
+        assert!(s.tick().iter().all(|l| l.node == 2));
+    }
+
+    #[test]
+    fn backup_reservation_avoids_the_original_node() {
+        let mut c = conf(2, 1, EngineKind::MRv1);
+        c.map_slots_per_node = 2;
+        let mut s = Scheduler::new(&c, 2, &NodeSpec::westmere());
+        let launches = s.tick();
+        assert_eq!(launches.len(), 2);
+        let node = s.reserve_for_backup(true, 0).expect("capacity exists");
+        assert_eq!(node, 1);
+        // Node 1 is now full; only the avoided node has room left.
+        let fallback = s.reserve_for_backup(true, 0).expect("falls back");
+        assert_eq!(fallback, 0);
+        assert!(s.reserve_for_backup(true, 0).is_none());
     }
 
     #[test]

@@ -65,6 +65,20 @@ impl ShuffleRegistry {
         self.outputs[map_index as usize].as_ref()
     }
 
+    /// Drop every output stored on `node` (the node crashed and its local
+    /// segments are gone). Returns the evicted outputs in map-index order;
+    /// the affected maps may re-register after re-execution.
+    pub fn unregister_node(&mut self, node: usize) -> Vec<(u32, MapOutput)> {
+        let mut lost = Vec::new();
+        for (i, slot) in self.outputs.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(|o| o.node == node) {
+                lost.push((i as u32, slot.take().expect("checked above")));
+            }
+        }
+        self.node_output_bytes[node] = 0;
+        lost
+    }
+
     /// Number of committed outputs.
     pub fn committed(&self) -> usize {
         self.outputs.iter().filter(|o| o.is_some()).count()
@@ -118,6 +132,23 @@ mod tests {
         let mut r = ShuffleRegistry::new(1, 1, ByteSize::from_gib(1));
         r.register(0, output(0, vec![1]));
         r.register(0, output(0, vec![1]));
+    }
+
+    #[test]
+    fn unregister_node_evicts_and_allows_reregistration() {
+        let mut r = ShuffleRegistry::new(3, 2, ByteSize::from_gib(24));
+        r.register(0, output(0, vec![100]));
+        r.register(1, output(1, vec![200]));
+        r.register(2, output(0, vec![300]));
+        let lost = r.unregister_node(0);
+        assert_eq!(lost.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 2]);
+        assert!(r.output(0).is_none());
+        assert!(r.output(1).is_some());
+        assert_eq!(r.node_output_bytes(0), 0);
+        assert_eq!(r.committed(), 1);
+        // The re-executed map commits again, elsewhere.
+        r.register(0, output(1, vec![100]));
+        assert_eq!(r.node_output_bytes(1), 300);
     }
 
     #[test]

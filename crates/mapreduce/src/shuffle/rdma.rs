@@ -36,6 +36,11 @@ pub struct ShuffleModel {
     /// workload (one unique key per reducer, output discarded) is the
     /// ideal case for that overlap.
     pub reduce_overlap: f64,
+    /// Multiplier on the fetcher's exponential-backoff delay after a
+    /// failed fetch. The RDMA engine detects transport errors through
+    /// completion-queue events instead of HTTP timeouts, so it retries
+    /// much sooner.
+    pub retry_backoff_scale: f64,
 }
 
 impl ShuffleModel {
@@ -49,6 +54,7 @@ impl ShuffleModel {
                 // overlapping roughly a third of the merge work.
                 merge_overlap: 0.35,
                 reduce_overlap: 0.0,
+                retry_backoff_scale: 1.0,
             },
             ShuffleEngineKind::Rdma => ShuffleModel {
                 charges_protocol_cpu: false,
@@ -59,6 +65,7 @@ impl ShuffleModel {
                 buffer_boost: 6.0,
                 merge_overlap: 0.85,
                 reduce_overlap: 0.45,
+                retry_backoff_scale: 0.25,
             },
         }
     }
@@ -77,6 +84,7 @@ mod tests {
         assert!(rdma.merge_overlap > tcp.merge_overlap);
         assert!(rdma.buffer_boost > tcp.buffer_boost);
         assert!(rdma.reduce_overlap > tcp.reduce_overlap);
+        assert!(rdma.retry_backoff_scale < tcp.retry_backoff_scale);
     }
 
     #[test]
@@ -86,6 +94,7 @@ mod tests {
             assert!((0.0..=1.0).contains(&m.merge_overlap));
             assert!((0.0..=1.0).contains(&m.reduce_overlap));
             assert!(m.buffer_boost >= 1.0);
+            assert!(m.retry_backoff_scale > 0.0);
         }
     }
 }

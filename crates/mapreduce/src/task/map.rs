@@ -34,9 +34,11 @@ enum State {
     Done,
 }
 
-/// A map task in flight.
+/// A map task attempt in flight.
 pub(crate) struct MapTask {
-    /// Map index (also its global task id).
+    /// Attempt slot id (correlation-tag key).
+    pub slot: u32,
+    /// Map index.
     pub index: u32,
     /// Slave node.
     pub node: usize,
@@ -60,6 +62,9 @@ pub(crate) struct MapTask {
     /// Deterministic per-task runtime variability factor (JIT, GC, OS
     /// noise), applied to all CPU work.
     jitter: f64,
+    /// Injected fault: the attempt runs its whole pipeline, then dies at
+    /// commit instead of registering its output.
+    doomed: bool,
     /// Bytes passing through the final merge (intermediate merge rounds
     /// plus the final pass over everything).
     merge_bytes: u64,
@@ -70,10 +75,12 @@ impl MapTask {
     /// the record count this map sends to reducer `r`, as computed by the
     /// job's partitioner.
     pub fn launch(
+        slot: u32,
         index: u32,
         node: usize,
         partition_records: Vec<u64>,
         jitter: f64,
+        doomed: bool,
         env: &mut Env<'_>,
     ) -> MapTask {
         let rec_len = env.spec.record_ifile_len();
@@ -116,6 +123,7 @@ impl MapTask {
         };
 
         let task = MapTask {
+            slot,
             index,
             node,
             start: env.now,
@@ -131,12 +139,13 @@ impl MapTask {
             out_bytes,
             merge_bytes,
             jitter,
+            doomed,
         };
         env.cpu.submit(
             env.now,
             node,
             env.costs.jvm_startup_s * jitter,
-            tag(index, Stage::Jvm, 0),
+            tag(slot, Stage::Jvm, 0),
         );
         task
     }
@@ -163,12 +172,11 @@ impl MapTask {
                     self.node,
                     ByteSize::from_bytes(bytes),
                     IoKind::Write,
-                    tag(self.index, Stage::MapSpillWrite, seq),
+                    tag(self.slot, Stage::MapSpillWrite, seq),
                 );
                 self.spills_outstanding += 1;
                 env.counters.spilled_records_map += self.chunk_records[idx];
                 env.counters.disk_write_bytes += bytes;
-                env.counters.map_output_records += self.chunk_records[idx];
 
                 self.next_chunk += 1;
                 if self.next_chunk < self.chunk_bytes.len() {
@@ -189,7 +197,7 @@ impl MapTask {
                     env.now,
                     self.node,
                     env.costs.merge(self.merge_bytes) * self.jitter,
-                    tag(self.index, Stage::MapMergeCpu, 0),
+                    tag(self.slot, Stage::MapMergeCpu, 0),
                 );
             }
             (State::MergeCpu, Stage::MapMergeCpu) => {
@@ -200,16 +208,14 @@ impl MapTask {
                     self.node,
                     ByteSize::from_bytes(self.merge_bytes),
                     IoKind::Write,
-                    tag(self.index, Stage::MapMergeWrite, 0),
+                    tag(self.slot, Stage::MapMergeWrite, 0),
                 );
             }
             (State::MergeWrite, Stage::MapMergeWrite) => {
                 // Spill files are deleted after the merge; drop any of
                 // their write-back still queued.
-                env.disk.discard_writeback(
-                    self.node,
-                    ByteSize::from_bytes(self.out_bytes),
-                );
+                env.disk
+                    .discard_writeback(self.node, ByteSize::from_bytes(self.out_bytes));
                 self.commit(env);
             }
             (state, stage) => {
@@ -232,7 +238,7 @@ impl MapTask {
             env.now,
             self.node,
             work,
-            tag(self.index, Stage::MapChunkCpu, idx as u32),
+            tag(self.slot, Stage::MapChunkCpu, idx as u32),
         );
     }
 
@@ -253,7 +259,7 @@ impl MapTask {
                 self.node,
                 ByteSize::from_bytes(self.merge_bytes),
                 IoKind::Read,
-                tag(self.index, Stage::MapMergeRead, 0),
+                tag(self.slot, Stage::MapMergeRead, 0),
             );
         } else {
             // A single spill is already the final output file.
@@ -262,9 +268,20 @@ impl MapTask {
     }
 
     fn commit(&mut self, env: &mut Env<'_>) {
+        if self.doomed {
+            // The injected fault strikes during commit: all the attempt's
+            // work (already charged to the physical counters) is wasted,
+            // and nothing is registered for reducers to fetch.
+            env.notes.push(Note::AttemptFailed { slot: self.slot });
+            return;
+        }
         self.state = State::Done;
         self.finish = Some(env.now);
         env.counters.maps_completed += 1;
+        // Logical output counters are charged at commit (and reversed if a
+        // node crash later invalidates the output), so re-executed and
+        // killed attempts never inflate them.
+        env.counters.map_output_records += self.records();
         let raw = (env.spec.key_size + env.spec.value_size) as u64 * self.records();
         env.counters.map_output_bytes += raw;
         env.counters.map_output_materialized_bytes += self.out_bytes;
@@ -277,10 +294,7 @@ impl MapTask {
             },
         );
         env.notes.push(Note::MapOutputReady(self.index));
-        env.notes.push(Note::TaskFinished {
-            is_map: true,
-            node: self.node,
-        });
+        env.notes.push(Note::TaskFinished { slot: self.slot });
     }
 
     /// True once the task committed.

@@ -9,12 +9,14 @@ pub(crate) mod map;
 pub(crate) mod reduce;
 
 use cluster::{CpuSim, DiskSim};
+use simcore::event::EventQueue;
 use simcore::time::SimTime;
 use simnet::{Network, ProtocolModel};
 
 use crate::conf::JobConf;
 use crate::costs::CostModel;
 use crate::counters::Counters;
+use crate::faults::FaultInjector;
 use crate::job::JobSpec;
 use crate::shuffle::rdma::ShuffleModel;
 use crate::shuffle::ShuffleRegistry;
@@ -50,6 +52,8 @@ pub(crate) enum Stage {
     ReduceCpu,
     /// Reduce output write (non-null output formats).
     ReduceOutWrite,
+    /// Timer: retry a failed shuffle fetch after its backoff delay.
+    FetchRetry,
 }
 
 impl Stage {
@@ -69,6 +73,7 @@ impl Stage {
             Stage::ReduceMergeCpu => 12,
             Stage::ReduceCpu => 13,
             Stage::ReduceOutWrite => 14,
+            Stage::FetchRetry => 15,
         }
     }
 
@@ -88,6 +93,7 @@ impl Stage {
             12 => Stage::ReduceMergeCpu,
             13 => Stage::ReduceCpu,
             14 => Stage::ReduceOutWrite,
+            15 => Stage::FetchRetry,
             other => panic!("invalid stage byte {other}"),
         }
     }
@@ -118,8 +124,12 @@ pub(crate) fn untag(t: u64) -> Option<(u32, Stage, u32)> {
 pub(crate) enum Note {
     /// A map committed its output; reducers can fetch it.
     MapOutputReady(u32),
-    /// A task finished; the scheduler can reuse its slot.
-    TaskFinished { is_map: bool, node: usize },
+    /// The attempt in `slot` finished; the scheduler can reuse its slot
+    /// and any sibling (speculative) attempts must be killed.
+    TaskFinished { slot: u32 },
+    /// The attempt in `slot` gave up (shuffle fetch retries exhausted);
+    /// the engine treats it like any other failed attempt.
+    AttemptFailed { slot: u32 },
 }
 
 /// Mutable view of the simulation a task handler acts through.
@@ -146,6 +156,11 @@ pub(crate) struct Env<'a> {
     pub shuffle_model: ShuffleModel,
     /// Map output registry + page-cache model.
     pub registry: &'a mut ShuffleRegistry,
+    /// Fault decisions for this run.
+    pub faults: &'a FaultInjector,
+    /// Engine timer queue (tags dispatch back to tasks when due), used
+    /// for fetch-retry backoff delays.
+    pub timers: &'a mut EventQueue<u64>,
     /// Signals raised during this dispatch.
     pub notes: &'a mut Vec<Note>,
 }
@@ -170,7 +185,7 @@ mod tests {
 
     #[test]
     fn stage_bytes_round_trip() {
-        for v in 1..=14u8 {
+        for v in 1..=15u8 {
             assert_eq!(Stage::from_u8(v).to_u8(), v);
         }
     }

@@ -10,11 +10,18 @@
 //! and — on the socket path — both endpoints pay protocol CPU. The
 //! RDMA/MRoIB engine skips the CPU charge and overlaps merging (see
 //! [`crate::shuffle::rdma`]).
+//!
+//! Fetches can fail: the fault plan injects fetch failures, and node
+//! crashes invalidate in-flight transfers from the lost node. Failed
+//! fetches retry with exponential backoff (Hadoop's
+//! `ShuffleScheduler`/`Fetcher` penalty box); when a map's segment stays
+//! unfetchable past `fetch_max_retries`, the whole reduce attempt reports
+//! failure to the engine, exactly like a crashed attempt.
 
 use std::collections::{HashMap, VecDeque};
 
 use cluster::IoKind;
-use simcore::time::SimTime;
+use simcore::time::{SimDuration, SimTime};
 use simcore::units::ByteSize;
 use simnet::NodeId;
 
@@ -33,17 +40,18 @@ enum State {
 
 #[derive(Clone, Copy, Debug)]
 struct Fetch {
+    map: u32,
     src: usize,
     bytes: u64,
     records: u64,
 }
 
-/// A reduce task in flight.
+/// A reduce task attempt in flight.
 pub(crate) struct ReduceTask {
     /// Reduce index.
     pub index: u32,
-    /// Global task id (`num_maps + index`).
-    pub task_id: u32,
+    /// Attempt slot id (correlation-tag key).
+    pub slot: u32,
     /// Slave node.
     pub node: usize,
     /// Launch time.
@@ -55,6 +63,11 @@ pub(crate) struct ReduceTask {
     state: State,
     num_maps: u32,
     enqueued: Vec<bool>,
+    /// Segments fully copied (survive a later loss of the source node).
+    fetched: Vec<bool>,
+    /// Failed tries per map segment, for retry backoff and the give-up
+    /// threshold.
+    fetch_tries: Vec<u32>,
     pending: VecDeque<u32>,
     in_flight: u32,
     fetched_maps: u32,
@@ -69,6 +82,9 @@ pub(crate) struct ReduceTask {
     output_write_bytes: u64,
     /// Deterministic per-task runtime variability factor.
     jitter: f64,
+    /// Injected fault: the attempt runs its whole pipeline, then dies at
+    /// commit instead of completing.
+    doomed: bool,
 }
 
 impl ReduceTask {
@@ -76,16 +92,17 @@ impl ReduceTask {
     #[allow(clippy::too_many_arguments)]
     pub fn launch(
         index: u32,
-        task_id: u32,
+        slot: u32,
         node: usize,
         num_maps: u32,
         output_write_bytes: u64,
         jitter: f64,
+        doomed: bool,
         env: &mut Env<'_>,
     ) -> ReduceTask {
         let task = ReduceTask {
             index,
-            task_id,
+            slot,
             node,
             start: env.now,
             finish: None,
@@ -93,6 +110,8 @@ impl ReduceTask {
             state: State::Jvm,
             num_maps,
             enqueued: vec![false; num_maps as usize],
+            fetched: vec![false; num_maps as usize],
+            fetch_tries: vec![0; num_maps as usize],
             pending: VecDeque::new(),
             in_flight: 0,
             fetched_maps: 0,
@@ -105,12 +124,13 @@ impl ReduceTask {
             input_records: 0,
             output_write_bytes,
             jitter,
+            doomed,
         };
         env.cpu.submit(
             env.now,
             node,
             env.costs.jvm_startup_s * jitter,
-            tag(task_id, Stage::Jvm, 0),
+            tag(slot, Stage::Jvm, 0),
         );
         task
     }
@@ -128,6 +148,24 @@ impl ReduceTask {
         }
     }
 
+    /// The engine calls this when a node crash makes `map`'s output
+    /// unfetchable. Segments already copied are kept (the classic
+    /// "reducers that finished copying are unaffected" semantics);
+    /// queued fetches are withdrawn until the map re-commits; in-flight
+    /// transfers are left to fail their validity check on completion.
+    pub fn on_map_output_lost(&mut self, map: u32) {
+        let m = map as usize;
+        if self.fetched[m] || !self.enqueued[m] {
+            return;
+        }
+        if let Some(pos) = self.pending.iter().position(|&x| x == map) {
+            self.pending.remove(pos);
+            self.enqueued[m] = false;
+        }
+        // Otherwise the fetch is in flight (or parked on a retry timer);
+        // its completion path re-validates against the registry.
+    }
+
     /// Handle a completion routed to this task.
     pub fn on_event(&mut self, stage: Stage, seq: u32, env: &mut Env<'_>) {
         match (self.state, stage) {
@@ -143,10 +181,18 @@ impl ReduceTask {
                 self.maybe_finish_shuffle(env);
             }
             (State::Shuffling, Stage::FetchSrcRead) => {
+                if !self.fetch_still_valid(seq, env) {
+                    self.abandon_fetch(seq, env);
+                    return;
+                }
                 let f = self.fetches[&seq];
                 self.start_flow(seq, f, env);
             }
             (State::Shuffling, Stage::FetchNet) => {
+                if !self.fetch_still_valid(seq, env) {
+                    self.abandon_fetch(seq, env);
+                    return;
+                }
                 let f = self.fetches[&seq];
                 let remote = f.src != self.node;
                 if remote && env.shuffle_model.charges_protocol_cpu {
@@ -163,7 +209,7 @@ impl ReduceTask {
                         env.now,
                         self.node,
                         cost,
-                        tag(self.task_id, Stage::FetchCpu, seq),
+                        tag(self.slot, Stage::FetchCpu, seq),
                     );
                 } else {
                     self.finish_fetch(seq, env);
@@ -171,6 +217,9 @@ impl ReduceTask {
             }
             (State::Shuffling, Stage::FetchCpu) => {
                 self.finish_fetch(seq, env);
+            }
+            (State::Shuffling, Stage::FetchRetry) => {
+                self.retry_fetch(seq, env);
             }
             (_, Stage::ReduceSpillWrite) => {
                 self.spills_outstanding -= 1;
@@ -182,10 +231,8 @@ impl ReduceTask {
             }
             (State::MergeRead, Stage::ReduceMergeRead) => {
                 // Spilled shuffle segments are deleted after the merge.
-                env.disk.discard_writeback(
-                    self.node,
-                    ByteSize::from_bytes(self.spilled_bytes),
-                );
+                env.disk
+                    .discard_writeback(self.node, ByteSize::from_bytes(self.spilled_bytes));
                 self.state = State::MergeCpu;
                 self.submit_merge_cpu(env);
             }
@@ -198,12 +245,11 @@ impl ReduceTask {
                 ) * self.jitter
                     * (1.0 - env.shuffle_model.reduce_overlap);
                 env.counters.cpu_core_seconds += work;
-                env.counters.reduce_input_records += self.input_records;
                 env.cpu.submit(
                     env.now,
                     self.node,
                     work,
-                    tag(self.task_id, Stage::ReduceCpu, 0),
+                    tag(self.slot, Stage::ReduceCpu, 0),
                 );
             }
             (State::ReduceCpu, Stage::ReduceCpu) => {
@@ -215,7 +261,7 @@ impl ReduceTask {
                         self.node,
                         ByteSize::from_bytes(self.output_write_bytes),
                         IoKind::Write,
-                        tag(self.task_id, Stage::ReduceOutWrite, 0),
+                        tag(self.slot, Stage::ReduceOutWrite, 0),
                     );
                 } else {
                     self.complete(env);
@@ -224,10 +270,7 @@ impl ReduceTask {
             (State::OutWrite, Stage::ReduceOutWrite) => {
                 self.complete(env);
             }
-            (state, stage) => panic!(
-                "reduce {}: unexpected {stage:?} in {state:?}",
-                self.index
-            ),
+            (state, stage) => panic!("reduce {}: unexpected {stage:?} in {state:?}", self.index),
         }
     }
 
@@ -250,26 +293,110 @@ impl ReduceTask {
             let src = out.node;
             let seq = self.next_seq;
             self.next_seq += 1;
-            let fetch = Fetch { src, bytes, records };
-            self.fetches.insert(seq, fetch);
-            self.in_flight += 1;
-
-            let disk_bytes =
-                (bytes as f64 * env.registry.disk_miss_fraction(src)) as u64;
-            if disk_bytes > 0 {
-                env.counters.disk_read_bytes += disk_bytes;
-                env.disk.submit(
-                    env.now,
+            self.fetches.insert(
+                seq,
+                Fetch {
+                    map,
                     src,
-                    ByteSize::from_bytes(disk_bytes),
-                    IoKind::Read,
-                    tag(self.task_id, Stage::FetchSrcRead, seq),
-                );
-            } else {
-                self.start_flow(seq, fetch, env);
-            }
+                    bytes,
+                    records,
+                },
+            );
+            self.in_flight += 1;
+            self.try_fetch(seq, env);
         }
         self.maybe_finish_shuffle(env);
+    }
+
+    /// Attempt the transfer for fetch `seq`, first consulting the fault
+    /// plan: an injected failure goes to the backoff timer (or, past the
+    /// retry budget, fails the whole attempt).
+    fn try_fetch(&mut self, seq: u32, env: &mut Env<'_>) {
+        let f = self.fetches[&seq];
+        let m = f.map as usize;
+        if env
+            .faults
+            .fetch_fails(self.index, f.map, self.fetch_tries[m])
+        {
+            self.fetch_tries[m] += 1;
+            env.counters.failed_fetches += 1;
+            if self.fetch_tries[m] >= env.conf.fetch_max_retries {
+                // Hadoop: a reducer that cannot shuffle reports itself
+                // failed so the scheduler can act.
+                env.notes.push(Note::AttemptFailed { slot: self.slot });
+                return;
+            }
+            let backoff = env.conf.fetch_retry_base_s
+                * f64::powi(2.0, (self.fetch_tries[m] - 1) as i32)
+                * env.shuffle_model.retry_backoff_scale;
+            env.timers.schedule(
+                env.now + SimDuration::from_secs_f64(backoff),
+                tag(self.slot, Stage::FetchRetry, seq),
+            );
+            return;
+        }
+        let disk_bytes = (f.bytes as f64 * env.registry.disk_miss_fraction(f.src)) as u64;
+        if disk_bytes > 0 {
+            env.counters.disk_read_bytes += disk_bytes;
+            env.disk.submit(
+                env.now,
+                f.src,
+                ByteSize::from_bytes(disk_bytes),
+                IoKind::Read,
+                tag(self.slot, Stage::FetchSrcRead, seq),
+            );
+        } else {
+            self.start_flow(seq, f, env);
+        }
+    }
+
+    /// A backoff timer expired: re-resolve the segment (its map may have
+    /// re-run elsewhere after a crash) and try again.
+    fn retry_fetch(&mut self, seq: u32, env: &mut Env<'_>) {
+        let map = self.fetches[&seq].map;
+        match env.registry.output(map) {
+            Some(out) => {
+                let refreshed = Fetch {
+                    map,
+                    src: out.node,
+                    bytes: out.partition_bytes[self.index as usize],
+                    records: out.partition_records[self.index as usize],
+                };
+                self.fetches.insert(seq, refreshed);
+                self.try_fetch(seq, env);
+            }
+            None => {
+                // The source crashed while we were backing off; wait for
+                // the map's re-execution to announce itself.
+                self.fetches.remove(&seq);
+                self.in_flight -= 1;
+                self.enqueued[map as usize] = false;
+                self.start_fetches(env);
+            }
+        }
+    }
+
+    /// Is the segment this fetch was started against still the one the
+    /// registry advertises? False after the source node crashed.
+    fn fetch_still_valid(&self, seq: u32, env: &Env<'_>) -> bool {
+        let f = self.fetches[&seq];
+        env.registry.output(f.map).is_some_and(|o| o.node == f.src)
+    }
+
+    /// Drop a fetch whose source vanished mid-transfer and reschedule the
+    /// segment if (or when) its map re-commits.
+    fn abandon_fetch(&mut self, seq: u32, env: &mut Env<'_>) {
+        let f = self.fetches.remove(&seq).expect("fetch exists");
+        self.in_flight -= 1;
+        env.counters.failed_fetches += 1;
+        self.enqueued[f.map as usize] = false;
+        if env.registry.output(f.map).is_some() {
+            // Already re-registered (the map re-ran faster than our
+            // transfer failed): re-enqueue immediately.
+            self.on_map_output(f.map, env);
+        } else {
+            self.start_fetches(env);
+        }
     }
 
     fn start_flow(&mut self, seq: u32, f: Fetch, env: &mut Env<'_>) {
@@ -278,7 +405,7 @@ impl ReduceTask {
             NodeId(f.src),
             NodeId(self.node),
             ByteSize::from_bytes(f.bytes),
-            tag(self.task_id, Stage::FetchNet, seq),
+            tag(self.slot, Stage::FetchNet, seq),
         );
     }
 
@@ -286,6 +413,7 @@ impl ReduceTask {
         let f = self.fetches.remove(&seq).expect("fetch exists");
         self.in_flight -= 1;
         self.fetched_maps += 1;
+        self.fetched[f.map as usize] = true;
         self.shuffle_end = Some(env.now);
         env.counters.shuffled_fetches += 1;
         if f.src == self.node {
@@ -297,8 +425,8 @@ impl ReduceTask {
         self.input_records += f.records;
         self.mem_bytes += f.bytes;
 
-        let buffer = (env.conf.shuffle_buffer.as_bytes() as f64
-            * env.shuffle_model.buffer_boost) as u64;
+        let buffer =
+            (env.conf.shuffle_buffer.as_bytes() as f64 * env.shuffle_model.buffer_boost) as u64;
         if self.mem_bytes >= buffer {
             // In-memory segments merge onto disk.
             let bytes = self.mem_bytes;
@@ -306,14 +434,13 @@ impl ReduceTask {
             self.spilled_bytes += bytes;
             self.spills_outstanding += 1;
             env.counters.disk_write_bytes += bytes;
-            env.counters.spilled_records_reduce +=
-                bytes / env.spec.record_ifile_len().max(1);
+            env.counters.spilled_records_reduce += bytes / env.spec.record_ifile_len().max(1);
             env.disk.submit_cached(
                 env.now,
                 self.node,
                 ByteSize::from_bytes(bytes),
                 IoKind::Write,
-                tag(self.task_id, Stage::ReduceSpillWrite, 0),
+                tag(self.slot, Stage::ReduceSpillWrite, 0),
             );
         }
         self.start_fetches(env);
@@ -328,8 +455,8 @@ impl ReduceTask {
         }
         // Final merge: only the un-overlapped remainder of the spilled
         // data still needs to come back from disk.
-        let read_back = (self.spilled_bytes as f64
-            * (1.0 - env.shuffle_model.merge_overlap)) as u64;
+        let read_back =
+            (self.spilled_bytes as f64 * (1.0 - env.shuffle_model.merge_overlap)) as u64;
         if read_back > 0 {
             self.state = State::MergeRead;
             env.counters.disk_read_bytes += read_back;
@@ -338,7 +465,7 @@ impl ReduceTask {
                 self.node,
                 ByteSize::from_bytes(read_back),
                 IoKind::Read,
-                tag(self.task_id, Stage::ReduceMergeRead, 0),
+                tag(self.slot, Stage::ReduceMergeRead, 0),
             );
         } else {
             self.state = State::MergeCpu;
@@ -347,26 +474,31 @@ impl ReduceTask {
     }
 
     fn submit_merge_cpu(&mut self, env: &mut Env<'_>) {
-        let merged = (self.input_bytes as f64
-            * (1.0 - env.shuffle_model.merge_overlap)) as u64;
+        let merged = (self.input_bytes as f64 * (1.0 - env.shuffle_model.merge_overlap)) as u64;
         let work = env.costs.merge(merged) * self.jitter;
         env.counters.cpu_core_seconds += work;
         env.cpu.submit(
             env.now,
             self.node,
             work,
-            tag(self.task_id, Stage::ReduceMergeCpu, 0),
+            tag(self.slot, Stage::ReduceMergeCpu, 0),
         );
     }
 
     fn complete(&mut self, env: &mut Env<'_>) {
+        if self.doomed {
+            // The injected fault strikes at commit: the whole attempt —
+            // fetches, merges, the reduce function — is wasted.
+            env.notes.push(Note::AttemptFailed { slot: self.slot });
+            return;
+        }
         self.state = State::Done;
         self.finish = Some(env.now);
         env.counters.reduces_completed += 1;
-        env.notes.push(Note::TaskFinished {
-            is_map: false,
-            node: self.node,
-        });
+        // Input records are charged by the winning attempt only, so
+        // speculation cannot double-count them.
+        env.counters.reduce_input_records += self.input_records;
+        env.notes.push(Note::TaskFinished { slot: self.slot });
     }
 
     /// True once the reduce completed.

@@ -216,7 +216,6 @@ fn text_type_shuffles_fewer_bytes() {
     let bytes = run_with(DataType::BytesWritable);
     let text = run_with(DataType::Text);
     assert!(
-        text.counters.map_output_materialized_bytes
-            < bytes.counters.map_output_materialized_bytes
+        text.counters.map_output_materialized_bytes < bytes.counters.map_output_materialized_bytes
     );
 }

@@ -8,7 +8,7 @@ use mapreduce::engine::{run_job, Engine};
 use mapreduce::io::DataType;
 use mapreduce::job::JobSpec;
 use mapreduce::shuffle::rdma::ShuffleModel;
-use mapreduce::HashPartitionerFactory;
+use mapreduce::{FaultPlan, HashPartitionerFactory};
 use simnet::Interconnect;
 
 fn base_spec() -> JobSpec {
@@ -206,15 +206,16 @@ fn text_jobs_pay_the_serialization_premium() {
         2,
         Interconnect::IpoibQdr,
     );
-    assert!(text.counters.map_output_materialized_bytes < bytes.counters.map_output_materialized_bytes);
+    assert!(
+        text.counters.map_output_materialized_bytes < bytes.counters.map_output_materialized_bytes
+    );
     assert!(text.counters.cpu_core_seconds > bytes.counters.cpu_core_seconds);
 }
 
 #[test]
 fn injected_failures_are_retried_and_the_job_still_completes() {
     let mut spec = base_spec();
-    spec.conf.fail_first_attempt_maps = vec![0, 2];
-    spec.conf.fail_first_attempt_reduces = vec![1];
+    spec.conf.faults = FaultPlan::fail_first_attempts(vec![0, 2], vec![1]);
     let r = run_job(
         spec,
         &HashPartitionerFactory,
@@ -247,7 +248,7 @@ fn failures_cost_time_when_slots_are_saturated() {
         Interconnect::GigE10,
     );
     let mut spec = clean_spec;
-    spec.conf.fail_first_attempt_maps = vec![0];
+    spec.conf.faults = FaultPlan::fail_first_attempts(vec![0], vec![]);
     let failed = run_job(
         spec,
         &HashPartitionerFactory,
@@ -261,15 +262,17 @@ fn failures_cost_time_when_slots_are_saturated() {
         failed.job_time.as_secs_f64(),
         clean.job_time.as_secs_f64()
     );
-    assert_eq!(failed.counters.reduce_input_records, clean.counters.reduce_input_records);
+    assert_eq!(
+        failed.counters.reduce_input_records,
+        clean.counters.reduce_input_records
+    );
 }
 
 #[test]
 fn failure_injection_is_deterministic() {
     let run_once = || {
         let mut spec = base_spec();
-        spec.conf.fail_first_attempt_maps = vec![1];
-        spec.conf.fail_first_attempt_reduces = vec![0];
+        spec.conf.faults = FaultPlan::fail_first_attempts(vec![1], vec![0]);
         run_job(
             spec,
             &HashPartitionerFactory,

@@ -74,7 +74,12 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.heap.push(Entry { time, seq, id, payload });
+        self.heap.push(Entry {
+            time,
+            seq,
+            id,
+            payload,
+        });
         self.live += 1;
         id
     }

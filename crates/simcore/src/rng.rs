@@ -272,7 +272,10 @@ mod tests {
         }
         let expect = n as f64 / bound as f64;
         for c in counts {
-            assert!((c as f64 - expect).abs() < expect * 0.05, "counts={counts:?}");
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.05,
+                "counts={counts:?}"
+            );
         }
     }
 

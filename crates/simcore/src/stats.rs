@@ -202,7 +202,9 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Empty series.
     pub fn new() -> Self {
-        TimeSeries { samples: Vec::new() }
+        TimeSeries {
+            samples: Vec::new(),
+        }
     }
 
     /// Append a sample; time must be non-decreasing.

@@ -316,8 +316,14 @@ mod tests {
         let a = SimTime::from_secs(5);
         let b = SimTime::from_secs(9);
         assert_eq!(b.since(a).as_secs_f64(), 4.0);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
-        assert_eq!(SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -168,7 +168,10 @@ impl Rate {
     /// Construct from bytes per second.
     #[inline]
     pub fn from_bytes_per_sec(bps: f64) -> Self {
-        assert!(bps >= 0.0 && bps.is_finite(), "rate must be finite and non-negative");
+        assert!(
+            bps >= 0.0 && bps.is_finite(),
+            "rate must be finite and non-negative"
+        );
         Rate(bps)
     }
 
@@ -309,7 +312,10 @@ mod tests {
         let t = r.time_for(ByteSize::from_bytes(200_000_000));
         assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
         assert_eq!(r.time_for(ByteSize::ZERO), SimDuration::ZERO);
-        assert_eq!(Rate::ZERO.time_for(ByteSize::from_bytes(1)), SimDuration::MAX);
+        assert_eq!(
+            Rate::ZERO.time_for(ByteSize::from_bytes(1)),
+            SimDuration::MAX
+        );
     }
 
     #[test]

@@ -1,12 +1,18 @@
-//! Property-based tests for the simulation kernel invariants.
+//! Property-style tests for the simulation kernel invariants.
+//!
+//! The workspace carries no external dependencies, so instead of proptest
+//! these run each invariant over many deterministically generated cases
+//! drawn from the crate's own RNGs.
 
-use proptest::prelude::*;
 use simcore::{ByteSize, EventQueue, JavaRandom, Rate, SimDuration, SimTime, SplitMix64};
 
-proptest! {
-    /// Events always pop in non-decreasing time order, with FIFO tie-break.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// Events always pop in non-decreasing time order, with FIFO tie-break.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xE4E47 + case);
+        let n = 1 + rng.next_below(200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
@@ -14,23 +20,29 @@ proptest! {
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, idx)) = q.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt);
                 if t == lt {
-                    prop_assert!(idx > lidx, "FIFO tie-break violated");
+                    assert!(idx > lidx, "FIFO tie-break violated");
                 }
             }
             last = Some((t, idx));
         }
     }
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn event_queue_cancellation(n in 1usize..100, cancel_mask in proptest::collection::vec(any::<bool>(), 100)) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn event_queue_cancellation() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xCA2CE1 + case);
+        let n = 1 + rng.next_below(100) as usize;
         let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..n).map(|i| q.schedule(SimTime::from_nanos(i as u64 % 7), i)).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|i| q.schedule(SimTime::from_nanos(i as u64 % 7), i))
+            .collect();
         let mut kept = Vec::new();
         for (i, id) in ids.iter().enumerate() {
-            if cancel_mask[i] {
+            if rng.next_below(2) == 0 {
                 q.cancel(*id);
             } else {
                 kept.push(i);
@@ -41,59 +53,84 @@ proptest! {
             popped.push(v);
         }
         popped.sort_unstable();
-        prop_assert_eq!(popped, kept);
+        assert_eq!(popped, kept);
     }
+}
 
-    /// java.util.Random nextInt(bound) stays in range for any positive bound.
-    #[test]
-    fn java_random_bound_always_in_range(seed in any::<i64>(), bound in 1i32..i32::MAX, draws in 1usize..50) {
+/// java.util.Random nextInt(bound) stays in range for any positive bound.
+#[test]
+fn java_random_bound_always_in_range() {
+    let mut rng = SplitMix64::new(0x7A7A);
+    for _ in 0..64 {
+        let seed = rng.next_u64() as i64;
+        let bound = 1 + (rng.next_below(i32::MAX as u64 - 1)) as i32;
+        let draws = 1 + rng.next_below(50);
         let mut r = JavaRandom::new(seed);
         for _ in 0..draws {
             let v = r.next_int_bound(bound);
-            prop_assert!((0..bound).contains(&v));
+            assert!((0..bound).contains(&v));
         }
     }
+}
 
-    /// JavaRandom is a pure function of its seed.
-    #[test]
-    fn java_random_deterministic(seed in any::<i64>()) {
+/// JavaRandom is a pure function of its seed.
+#[test]
+fn java_random_deterministic() {
+    let mut rng = SplitMix64::new(0xDE7E12);
+    for _ in 0..64 {
+        let seed = rng.next_u64() as i64;
         let mut a = JavaRandom::new(seed);
         let mut b = JavaRandom::new(seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_int(), b.next_int());
+            assert_eq!(a.next_int(), b.next_int());
         }
     }
+}
 
-    /// Transfer-time and bytes-over are inverse within rounding error.
-    #[test]
-    fn rate_time_inverse(bytes in 1u64..1_000_000_000, mbps in 1.0f64..10_000.0) {
+/// Transfer-time and bytes-over are inverse within rounding error.
+#[test]
+fn rate_time_inverse() {
+    let mut rng = SplitMix64::new(0x1A7E);
+    for _ in 0..256 {
+        let bytes = 1 + rng.next_below(1_000_000_000);
+        let mbps = 1.0 + rng.next_f64() * 9_999.0;
         let r = Rate::from_mb_per_sec(mbps);
         let t = r.time_for(ByteSize::from_bytes(bytes));
         let back = r.bytes_over(t).as_bytes() as f64;
         // Nanosecond quantization bounds the error by rate * 1ns + 1 byte.
         let tolerance = r.as_bytes_per_sec() * 1e-9 + 1.0;
-        prop_assert!((back - bytes as f64).abs() <= tolerance,
-            "bytes={} back={} tol={}", bytes, back, tolerance);
+        assert!(
+            (back - bytes as f64).abs() <= tolerance,
+            "bytes={bytes} back={back} tol={tolerance}"
+        );
     }
+}
 
-    /// SimTime arithmetic is consistent: (t + d) - t == d.
-    #[test]
-    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
-        let t0 = SimTime::from_nanos(t);
-        let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((t0 + dur) - t0, dur);
-        prop_assert_eq!((t0 + dur).since(t0), dur);
+/// SimTime arithmetic is consistent: (t + d) - t == d.
+#[test]
+fn time_add_sub_roundtrip() {
+    let mut rng = SplitMix64::new(0x71AE);
+    for _ in 0..256 {
+        let t0 = SimTime::from_nanos(rng.next_below(u64::MAX / 4));
+        let dur = SimDuration::from_nanos(rng.next_below(u64::MAX / 4));
+        assert_eq!((t0 + dur) - t0, dur);
+        assert_eq!((t0 + dur).since(t0), dur);
     }
+}
 
-    /// SplitMix64 bounded draws are in range and deterministic.
-    #[test]
-    fn splitmix_bounded(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// SplitMix64 bounded draws are in range and deterministic.
+#[test]
+fn splitmix_bounded() {
+    let mut rng = SplitMix64::new(0x5B117);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let bound = 1 + rng.next_below(1_000_000);
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
         for _ in 0..8 {
             let va = a.next_below(bound);
-            prop_assert!(va < bound);
-            prop_assert_eq!(va, b.next_below(bound));
+            assert!(va < bound);
+            assert_eq!(va, b.next_below(bound));
         }
     }
 }

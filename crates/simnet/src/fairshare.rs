@@ -169,10 +169,7 @@ mod tests {
 
     #[test]
     fn fabric_cap_limits_aggregate() {
-        let flows = vec![
-            FlowSpec { src: 0, dst: 2 },
-            FlowSpec { src: 1, dst: 3 },
-        ];
+        let flows = vec![FlowSpec { src: 0, dst: 2 }, FlowSpec { src: 1, dst: 3 }];
         let rates = max_min_rates(&flows, &[100.0; 4], &[100.0; 4], Some(120.0));
         let total: f64 = rates.iter().sum();
         assert!(total <= 120.0 + 1e-6, "{rates:?}");
@@ -233,6 +230,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "loopback")]
     fn rejects_loopback() {
-        let _ = max_min_rates(&[FlowSpec { src: 1, dst: 1 }], &[1.0, 1.0], &[1.0, 1.0], None);
+        let _ = max_min_rates(
+            &[FlowSpec { src: 1, dst: 1 }],
+            &[1.0, 1.0],
+            &[1.0, 1.0],
+            None,
+        );
     }
 }

@@ -74,7 +74,13 @@ mod tests {
         let mut net = Network::new(Topology::single_switch(2, Interconnect::GigE1));
         let mut mon = NetworkMonitor::new(2, SimDuration::from_secs(1));
         // 560 MiB at 112 MB/s is about 5.2 s of transfer.
-        net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), ByteSize::from_mib(560), 0);
+        net.start_flow(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            ByteSize::from_mib(560),
+            0,
+        );
         loop {
             let sample_at = mon.next_sample_time();
             match net.next_event_time() {

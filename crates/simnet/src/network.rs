@@ -297,7 +297,10 @@ impl Network {
                 self.flows.get_mut(&id).unwrap().rate = rate;
             } else {
                 net_ids.push(id);
-                specs.push(FlowSpec { src: f.src.0, dst: f.dst.0 });
+                specs.push(FlowSpec {
+                    src: f.src.0,
+                    dst: f.dst.0,
+                });
             }
         }
         let rates = max_min_rates(
@@ -397,8 +400,20 @@ mod tests {
         let mut n = net(3, Interconnect::GigE10);
         // Big flow and small flow share the receiver; when the small one
         // completes, the big one speeds up.
-        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), ByteSize::from_mib(400), 0);
-        n.start_flow(SimTime::ZERO, NodeId(1), NodeId(2), ByteSize::from_mib(40), 1);
+        n.start_flow(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(2),
+            ByteSize::from_mib(400),
+            0,
+        );
+        n.start_flow(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(2),
+            ByteSize::from_mib(40),
+            1,
+        );
         // Step through the latency activations until the first completion.
         let done = loop {
             let t = n.next_event_time().unwrap();
@@ -419,7 +434,13 @@ mod tests {
     #[test]
     fn loopback_does_not_touch_nic() {
         let mut n = net(2, Interconnect::GigE1);
-        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(0), ByteSize::from_mib(300), 0);
+        n.start_flow(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(0),
+            ByteSize::from_mib(300),
+            0,
+        );
         // NIC monitors see nothing.
         assert_eq!(n.tx_rate(NodeId(0)).as_mb_per_sec(), 0.0);
         let done = n.run_to_idle();
@@ -432,7 +453,13 @@ mod tests {
     #[test]
     fn latency_dominates_small_messages() {
         let mut n = net(2, Interconnect::GigE1);
-        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), ByteSize::from_bytes(1), 0);
+        n.start_flow(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            ByteSize::from_bytes(1),
+            0,
+        );
         n.run_to_idle();
         assert!(n.now().as_secs_f64() >= 55e-6);
         assert!(n.now().as_secs_f64() < 70e-6);
@@ -442,7 +469,13 @@ mod tests {
     fn rdma_much_faster_than_ipoib_for_bulk() {
         let run = |ic: Interconnect| {
             let mut n = net(2, ic);
-            n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), ByteSize::from_gib(1), 0);
+            n.start_flow(
+                SimTime::ZERO,
+                NodeId(0),
+                NodeId(1),
+                ByteSize::from_gib(1),
+                0,
+            );
             n.run_to_idle();
             n.now().as_secs_f64()
         };

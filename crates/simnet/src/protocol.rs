@@ -169,7 +169,10 @@ mod tests {
             .map(|i| i.model().effective_rate().as_mb_per_sec())
             .collect();
         for w in caps.windows(2) {
-            assert!(w[0] < w[1], "ceilings must be strictly increasing: {caps:?}");
+            assert!(
+                w[0] < w[1],
+                "ceilings must be strictly increasing: {caps:?}"
+            );
         }
     }
 
@@ -179,9 +182,7 @@ mod tests {
         // effective rate must never exceed the wire.
         for i in Interconnect::ALL {
             let m = i.model();
-            assert!(
-                m.effective_rate().as_bytes_per_sec() <= m.line_rate.as_bytes_per_sec() + 1.0
-            );
+            assert!(m.effective_rate().as_bytes_per_sec() <= m.line_rate.as_bytes_per_sec() + 1.0);
         }
     }
 

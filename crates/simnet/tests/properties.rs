@@ -1,46 +1,53 @@
-//! Property-based tests for the network simulator.
+//! Property-style tests for the network simulator, run over seeded case
+//! grids (the workspace carries no external test dependencies).
 
-use proptest::prelude::*;
+use simcore::rng::SplitMix64;
 use simcore::time::SimTime;
 use simcore::units::ByteSize;
 use simnet::fairshare::{max_min_rates, FlowSpec};
 use simnet::{Interconnect, Network, NodeId, Topology};
 
-fn arb_flows(n_nodes: usize) -> impl Strategy<Value = Vec<FlowSpec>> {
-    proptest::collection::vec((0..n_nodes, 0..n_nodes), 1..24).prop_map(move |pairs| {
-        pairs
-            .into_iter()
-            .filter(|(s, d)| s != d)
-            .map(|(s, d)| FlowSpec { src: s, dst: d })
-            .collect()
-    })
+/// Draw between 1 and 23 random (src, dst) flows over `n_nodes`, src != dst.
+fn gen_flows(rng: &mut SplitMix64, n_nodes: usize) -> Vec<FlowSpec> {
+    let n = 1 + rng.next_below(23) as usize;
+    (0..n)
+        .filter_map(|_| {
+            let s = rng.next_below(n_nodes as u64) as usize;
+            let d = rng.next_below(n_nodes as u64) as usize;
+            (s != d).then_some(FlowSpec { src: s, dst: d })
+        })
+        .collect()
 }
 
-proptest! {
-    /// Fair-share rates never violate any resource capacity.
-    #[test]
-    fn fairshare_feasible(
-        flows in arb_flows(6),
-        caps in proptest::collection::vec(1.0f64..2000.0, 6),
-    ) {
+/// Fair-share rates never violate any resource capacity.
+#[test]
+fn fairshare_feasible() {
+    let mut rng = SplitMix64::new(0xFA17);
+    for _ in 0..128 {
+        let flows = gen_flows(&mut rng, 6);
+        let caps: Vec<f64> = (0..6).map(|_| 1.0 + rng.next_f64() * 1999.0).collect();
         let rates = max_min_rates(&flows, &caps, &caps, None);
         let mut eg = [0.0; 6];
         let mut ing = [0.0; 6];
         for (f, r) in flows.iter().zip(&rates) {
-            prop_assert!(*r >= 0.0);
+            assert!(*r >= 0.0);
             eg[f.src] += r;
             ing[f.dst] += r;
         }
         for i in 0..6 {
-            prop_assert!(eg[i] <= caps[i] * (1.0 + 1e-9) + 1e-9);
-            prop_assert!(ing[i] <= caps[i] * (1.0 + 1e-9) + 1e-9);
+            assert!(eg[i] <= caps[i] * (1.0 + 1e-9) + 1e-9);
+            assert!(ing[i] <= caps[i] * (1.0 + 1e-9) + 1e-9);
         }
     }
+}
 
-    /// Every flow is bottlenecked at some saturated resource
-    /// (work conservation / Pareto efficiency of max-min).
-    #[test]
-    fn fairshare_work_conserving(flows in arb_flows(5)) {
+/// Every flow is bottlenecked at some saturated resource
+/// (work conservation / Pareto efficiency of max-min).
+#[test]
+fn fairshare_work_conserving() {
+    let mut rng = SplitMix64::new(0xC025);
+    for _ in 0..128 {
+        let flows = gen_flows(&mut rng, 5);
         let caps = vec![100.0; 5];
         let rates = max_min_rates(&flows, &caps, &caps, None);
         let mut eg = [0.0; 5];
@@ -51,58 +58,76 @@ proptest! {
         }
         for (f, r) in flows.iter().zip(&rates) {
             let saturated = eg[f.src] >= 100.0 - 1e-6 || ing[f.dst] >= 100.0 - 1e-6;
-            prop_assert!(saturated, "flow {:?} rate {} unbottlenecked", f, r);
+            assert!(saturated, "flow {f:?} rate {r} unbottlenecked");
         }
     }
+}
 
-    /// Fabric cap bounds the aggregate allocation.
-    #[test]
-    fn fairshare_fabric_cap(flows in arb_flows(4), cap in 1.0f64..500.0) {
+/// Fabric cap bounds the aggregate allocation.
+#[test]
+fn fairshare_fabric_cap() {
+    let mut rng = SplitMix64::new(0xFAB);
+    for _ in 0..128 {
+        let flows = gen_flows(&mut rng, 4);
+        let cap = 1.0 + rng.next_f64() * 499.0;
         let caps = vec![1000.0; 4];
         let rates = max_min_rates(&flows, &caps, &caps, Some(cap));
         let total: f64 = rates.iter().sum();
-        prop_assert!(total <= cap * (1.0 + 1e-9) + 1e-9, "total {} cap {}", total, cap);
+        assert!(
+            total <= cap * (1.0 + 1e-9) + 1e-9,
+            "total {total} cap {cap}"
+        );
     }
+}
 
-    /// The network delivers every byte it accepts, for any flow pattern.
-    #[test]
-    fn network_delivers_everything(
-        pattern in proptest::collection::vec((0usize..4, 0usize..4, 1u64..64), 1..16),
-    ) {
+/// The network delivers every byte it accepts, for any flow pattern
+/// (including loopback src == dst flows).
+#[test]
+fn network_delivers_everything() {
+    let mut rng = SplitMix64::new(0xDE11);
+    for _ in 0..64 {
+        let n = 1 + rng.next_below(15) as usize;
         let mut net = Network::new(Topology::single_switch(4, Interconnect::GigE10));
         let mut expected = 0u64;
-        let mut started = 0;
-        for (i, (s, d, mib)) in pattern.iter().enumerate() {
-            let bytes = ByteSize::from_mib(*mib);
+        for i in 0..n {
+            let s = rng.next_below(4) as usize;
+            let d = rng.next_below(4) as usize;
+            let bytes = ByteSize::from_mib(1 + rng.next_below(63));
             expected += bytes.as_bytes();
             net.start_flow(
                 SimTime::from_nanos(i as u64),
-                NodeId(*s),
-                NodeId(*d),
+                NodeId(s),
+                NodeId(d),
                 bytes,
                 i as u64,
             );
-            started += 1;
         }
         let done = net.run_to_idle();
-        prop_assert_eq!(done.len(), started);
-        prop_assert_eq!(net.delivered_bytes(), expected);
-        prop_assert_eq!(net.active_flows(), 0);
+        assert_eq!(done.len(), n);
+        assert_eq!(net.delivered_bytes(), expected);
+        assert_eq!(net.active_flows(), 0);
     }
+}
 
-    /// More load on the same fabric never finishes sooner (monotonicity).
-    #[test]
-    fn network_monotone_in_load(extra in 1u64..8) {
-        let run = |n_flows: u64| {
-            let mut net = Network::new(Topology::single_switch(2, Interconnect::GigE1));
-            for i in 0..n_flows {
-                net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), ByteSize::from_mib(32), i);
-            }
-            net.run_to_idle();
-            net.now()
-        };
-        let base = run(1);
-        let more = run(1 + extra);
-        prop_assert!(more >= base);
+/// More load on the same fabric never finishes sooner (monotonicity).
+#[test]
+fn network_monotone_in_load() {
+    let run = |n_flows: u64| {
+        let mut net = Network::new(Topology::single_switch(2, Interconnect::GigE1));
+        for i in 0..n_flows {
+            net.start_flow(
+                SimTime::ZERO,
+                NodeId(0),
+                NodeId(1),
+                ByteSize::from_mib(32),
+                i,
+            );
+        }
+        net.run_to_idle();
+        net.now()
+    };
+    let base = run(1);
+    for extra in 1..8u64 {
+        assert!(run(1 + extra) >= base);
     }
 }

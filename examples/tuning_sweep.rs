@@ -31,8 +31,7 @@ fn main() {
     for (maps, reduces) in task_pairs {
         print!("{:>10}", format!("{maps}M-{reduces}R"));
         for (i, ic) in networks.into_iter().enumerate() {
-            let mut config =
-                BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
+            let mut config = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
             config.num_maps = maps;
             config.num_reduces = reduces;
             config.volume = ShuffleVolume::TotalBytes(shuffle);
@@ -48,7 +47,10 @@ fn main() {
     println!();
     for (i, ic) in networks.into_iter().enumerate() {
         let (t, (m, r)) = best[i];
-        println!("best on {:<16} {m} maps / {r} reduces at {t:.1} s", ic.label());
+        println!(
+            "best on {:<16} {m} maps / {r} reduces at {t:.1} s",
+            ic.label()
+        );
     }
     println!();
     println!(

@@ -24,11 +24,8 @@ fn main() {
     );
 
     for s in [0.0, 0.5, 0.8, 1.0, 1.2, 1.5] {
-        let mut config = BenchConfig::cluster_a_default(
-            MicroBenchmark::Zipf,
-            Interconnect::IpoibQdr,
-            shuffle,
-        );
+        let mut config =
+            BenchConfig::cluster_a_default(MicroBenchmark::Zipf, Interconnect::IpoibQdr, shuffle);
         config.zipf_exponent = s;
         let report = run(&config).expect("valid config");
 

@@ -92,10 +92,17 @@ fn counters_are_internally_consistent() {
     config.num_reduces = 4;
     let c = run(&config).unwrap().result.counters;
 
-    assert_eq!(c.map_input_records, 4, "one dummy record per NullInputFormat split");
+    assert_eq!(
+        c.map_input_records, 4,
+        "one dummy record per NullInputFormat split"
+    );
     assert_eq!(c.map_output_records, c.reduce_input_records);
     assert_eq!(c.map_output_records, c.spilled_records_map);
-    assert_eq!(c.shuffled_fetches, 4 * 4, "every (map, reduce) pair fetched");
+    assert_eq!(
+        c.shuffled_fetches,
+        4 * 4,
+        "every (map, reduce) pair fetched"
+    );
     assert!(c.map_output_materialized_bytes > c.map_output_bytes);
     assert!(c.cpu_core_seconds > 0.0);
     assert!(c.disk_write_bytes >= c.map_output_materialized_bytes);

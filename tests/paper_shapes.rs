@@ -4,9 +4,7 @@
 //! the suite stays fast under `cargo test`; the full-size sweeps live in
 //! the `fig2`..`fig8` binaries.
 
-use hadoop_mr_microbench::mrbench::{
-    run, BenchConfig, Interconnect, MicroBenchmark, Sweep,
-};
+use hadoop_mr_microbench::mrbench::{run, BenchConfig, Interconnect, MicroBenchmark, Sweep};
 use hadoop_mr_microbench::simcore::units::ByteSize;
 
 const NETWORKS: [Interconnect; 3] = [
@@ -19,9 +17,15 @@ const NETWORKS: [Interconnect; 3] = [
 fn network_ordering_holds_for_avg_and_rand() {
     for bench in [MicroBenchmark::Avg, MicroBenchmark::Rand] {
         let sweep = Sweep::cluster_a(bench, &[ByteSize::from_gib(8)], &NETWORKS).unwrap();
-        let t1 = sweep.time(ByteSize::from_gib(8), Interconnect::GigE1).unwrap();
-        let t10 = sweep.time(ByteSize::from_gib(8), Interconnect::GigE10).unwrap();
-        let tib = sweep.time(ByteSize::from_gib(8), Interconnect::IpoibQdr).unwrap();
+        let t1 = sweep
+            .time(ByteSize::from_gib(8), Interconnect::GigE1)
+            .unwrap();
+        let t10 = sweep
+            .time(ByteSize::from_gib(8), Interconnect::GigE10)
+            .unwrap();
+        let tib = sweep
+            .time(ByteSize::from_gib(8), Interconnect::IpoibQdr)
+            .unwrap();
         assert!(t1 > t10 && t10 >= tib, "{bench}: {t1} {t10} {tib}");
         // Paper: improvements in the mid-teens to mid-twenties percent.
         let gain = (t1 - tib) / t1 * 100.0;
@@ -49,8 +53,7 @@ fn skew_roughly_doubles_job_time() {
 fn kv_size_effect_matches_fig4() {
     let at = ByteSize::from_gib(4);
     let time_for = |kv: usize| {
-        let mut c =
-            BenchConfig::cluster_a_default(MicroBenchmark::Avg, Interconnect::IpoibQdr, at);
+        let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Avg, Interconnect::IpoibQdr, at);
         c.key_size = kv;
         c.value_size = kv;
         run(&c).unwrap().job_time_secs()
@@ -60,7 +63,10 @@ fn kv_size_effect_matches_fig4() {
     let t10k = time_for(10240);
     assert!(t100 > t1k && t1k > t10k, "{t100} {t1k} {t10k}");
     // The effect is meaningful but bounded (paper: 128s vs 107s at 16GB).
-    assert!(t100 / t1k < 2.0, "100B should not be catastrophically slower");
+    assert!(
+        t100 / t1k < 2.0,
+        "100B should not be catastrophically slower"
+    );
 }
 
 #[test]
@@ -78,8 +84,7 @@ fn rdma_beats_ipoib_on_cluster_b() {
         8,
     ))
     .unwrap();
-    let gain =
-        (ipoib.job_time_secs() - rdma.job_time_secs()) / ipoib.job_time_secs() * 100.0;
+    let gain = (ipoib.job_time_secs() - rdma.job_time_secs()) / ipoib.job_time_secs() * 100.0;
     assert!(
         (10.0..40.0).contains(&gain),
         "RDMA gain {gain}% vs paper 28-30%"
@@ -92,8 +97,7 @@ fn fig7_peak_throughput_ordering() {
     let at = ByteSize::from_gib(8);
     let mut peaks = Vec::new();
     for ic in NETWORKS {
-        let report =
-            run(&BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, at)).unwrap();
+        let report = run(&BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, at)).unwrap();
         peaks.push(report.peak_rx_mbps());
     }
     assert!(
@@ -113,12 +117,7 @@ fn skew_reducer_zero_is_the_straggler() {
         at,
     ))
     .unwrap();
-    let mut reducers: Vec<_> = report
-        .result
-        .tasks
-        .iter()
-        .filter(|t| !t.is_map)
-        .collect();
+    let mut reducers: Vec<_> = report.result.tasks.iter().filter(|t| !t.is_map).collect();
     reducers.sort_by_key(|t| t.index);
     let slowest = reducers
         .iter()
