@@ -10,8 +10,8 @@
 use mapreduce::conf::ShuffleEngineKind;
 use mapreduce::engine::Engine;
 use mapreduce::shuffle::rdma::ShuffleModel;
-use mrbench::{BenchConfig, MicroBenchmark};
-use mrbench_bench::figure_header;
+use mrbench::{BenchConfig, BenchReport, MicroBenchmark};
+use mrbench_bench::{figure_header, Harness};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
@@ -47,9 +47,8 @@ impl Variant {
     }
 }
 
-fn run_variant(variant: Variant, ic: Interconnect) -> f64 {
-    let mut config =
-        BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, ByteSize::from_gib(16));
+fn run_variant(variant: Variant, ic: Interconnect, shuffle: ByteSize) -> BenchReport {
+    let mut config = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
     let mut spec = config.job_spec();
     match variant {
         Variant::DefaultSortMb => spec.conf.io_sort_mb = ByteSize::from_mib(100),
@@ -79,14 +78,17 @@ fn run_variant(variant: Variant, ic: Interconnect) -> f64 {
         }
         _ => {}
     }
-    engine.run().job_time_secs()
+    let result = engine.run();
+    BenchReport { config, result }
 }
 
 fn main() {
+    let mut harness = Harness::from_env("ablation");
     figure_header(
         "Ablation",
         "Fig. 2 anchor cell (MR-AVG, 16 GB, 16M/8R on 4 slaves) under model ablations",
     );
+    let shuffle = harness.shuffle(ByteSize::from_gib(16));
 
     println!(
         "{:>28} {:>12} {:>14} {:>16}",
@@ -94,8 +96,12 @@ fn main() {
     );
     let mut baseline_gain = None;
     for variant in Variant::ALL {
-        let slow = run_variant(variant, Interconnect::GigE1);
-        let fast = run_variant(variant, Interconnect::IpoibQdr);
+        let slow_report = run_variant(variant, Interconnect::GigE1, shuffle);
+        let fast_report = run_variant(variant, Interconnect::IpoibQdr, shuffle);
+        harness.record_report(&format!("{} — 1GigE", variant.label()), &slow_report);
+        harness.record_report(&format!("{} — IPoIB QDR", variant.label()), &fast_report);
+        let slow = slow_report.job_time_secs();
+        let fast = fast_report.job_time_secs();
         let gain = (slow - fast) / slow * 100.0;
         if variant == Variant::Baseline {
             baseline_gain = Some(gain);
@@ -117,4 +123,5 @@ fn main() {
          the phase mix but keep the ordering.",
         baseline_gain.unwrap_or(f64::NAN)
     );
+    harness.finish();
 }

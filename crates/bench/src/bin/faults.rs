@@ -14,19 +14,21 @@
 //!    without speculative backups.
 
 use mrbench::{run, BenchConfig, MicroBenchmark};
-use mrbench_bench::figure_header;
+use mrbench_bench::{figure_header, Harness};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
-fn base(bench: MicroBenchmark) -> BenchConfig {
-    BenchConfig::cluster_a_default(bench, Interconnect::IpoibQdr, ByteSize::from_gib(4))
+fn base(bench: MicroBenchmark, shuffle: ByteSize) -> BenchConfig {
+    BenchConfig::cluster_a_default(bench, Interconnect::IpoibQdr, shuffle)
 }
 
 fn main() {
+    let mut harness = Harness::from_env("faults");
     figure_header(
         "Fault tolerance",
         "Recovery cost under injected failures (extension; 4 GB shuffle, IPoIB QDR)",
     );
+    let shuffle = harness.shuffle(ByteSize::from_gib(4));
 
     // Panel 1: failure probability x data distribution.
     let probs = [0.0, 0.05, 0.1, 0.2];
@@ -42,10 +44,11 @@ fn main() {
     for (pi, &p) in probs.iter().enumerate() {
         print!("{:>8.2}", p);
         for (bi, b) in benches.into_iter().enumerate() {
-            let mut c = base(b);
+            let mut c = base(b, shuffle);
             c.faults.map_failure_prob = p;
             c.faults.reduce_failure_prob = p;
             let r = run(&c).expect("valid config");
+            harness.record_report(&format!("fault sweep p={p} {b}"), &r);
             if r.result.succeeded() {
                 times[bi][pi] = r.job_time_secs();
                 print!(
@@ -93,15 +96,24 @@ fn main() {
     }
     println!();
 
-    // Panel 2: node crash mid-job.
-    println!("node crash (slave 1 dies at t=30s, MR-AVG):");
-    let clean = run(&base(MicroBenchmark::Avg)).expect("valid config");
-    let mut c = base(MicroBenchmark::Avg);
+    // Panel 2: node crash late in the job — ~90% into the clean run, when
+    // the node's map outputs are committed and mid-shuffle, so the loss
+    // forces map re-execution. The fraction (rather than a fixed t)
+    // keeps the crash mid-job under --quick too.
+    let clean = run(&base(MicroBenchmark::Avg, shuffle)).expect("valid config");
+    // Quick runs are shuffle-dominated with little tail; crash mid-shuffle
+    // there so the lost node still holds work.
+    let crash_frac = if harness.quick { 0.6 } else { 0.9 };
+    let crash_at = (clean.job_time_secs() * crash_frac).max(1.0);
+    println!("node crash (slave 1 dies at t={crash_at:.0}s, MR-AVG):");
+    let mut c = base(MicroBenchmark::Avg, shuffle);
     c.faults.node_crashes.push(mapreduce::NodeCrash {
         node: 1,
-        at_secs: 30.0,
+        at_secs: crash_at,
     });
     let crashed = run(&c).expect("valid config");
+    harness.record_report("node crash — clean baseline", &clean);
+    harness.record_report("node crash — slave 1 lost mid-job", &crashed);
     println!("  clean   {:>8.1} s", clean.job_time_secs());
     println!(
         "  crashed {:>8.1} s   maps re-run after node loss: {}   attempts killed: {}",
@@ -119,7 +131,7 @@ fn main() {
     // Panel 3: straggler node, speculation off vs on.
     println!("straggler (slave 0 runs 3x slower, MR-AVG):");
     let straggler = |speculative: bool| {
-        let mut c = base(MicroBenchmark::Avg);
+        let mut c = base(MicroBenchmark::Avg, shuffle);
         c.faults.node_slowdowns.push(mapreduce::NodeSlowdown {
             node: 0,
             factor: 3.0,
@@ -129,6 +141,8 @@ fn main() {
     };
     let off = straggler(false);
     let on = straggler(true);
+    harness.record_report("straggler — speculation off", &off);
+    harness.record_report("straggler — speculation on", &on);
     println!("  speculation off {:>8.1} s", off.job_time_secs());
     println!(
         "  speculation on  {:>8.1} s   backups launched: {}   backups won: {}",
@@ -142,4 +156,5 @@ fn main() {
         "  [{}] speculative execution launches backups and does not hurt",
         if ok { "ok      " } else { "DEVIATES" }
     );
+    harness.finish();
 }

@@ -8,21 +8,24 @@
 use mrbench::calib::claims;
 use mrbench::{BenchConfig, MicroBenchmark, Sweep};
 use mrbench_bench::{
-    check_shape, figure_header, paper_sizes, print_improvements, run_panel, CLUSTER_A_NETWORKS,
+    check_shape, figure_header, paper_sizes, print_improvements, run_panel, Harness,
+    CLUSTER_A_NETWORKS,
 };
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
 fn main() {
+    let mut harness = Harness::from_env("fig2");
     figure_header(
         "Figure 2",
         "Job execution time for different data distribution patterns on Cluster A",
     );
 
-    let sizes = paper_sizes();
+    let sizes = harness.sizes(paper_sizes());
     let mut sweeps: Vec<(MicroBenchmark, Sweep)> = Vec::new();
     for (panel, bench) in ["(a)", "(b)", "(c)"].iter().zip(MicroBenchmark::ALL) {
         let sweep = run_panel(
+            &mut harness,
             &format!("Fig 2{panel} {bench} — 16 maps / 8 reduces on 4 slaves, 1 KiB k/v"),
             &sizes,
             &CLUSTER_A_NETWORKS,
@@ -32,6 +35,11 @@ fn main() {
         sweeps.push((bench, sweep));
     }
 
+    if harness.quick {
+        harness.note_quick();
+        harness.finish();
+        return;
+    }
     println!("shape checks against the paper's prose:");
     let at = ByteSize::from_gib(16);
     let avg = &sweeps[0].1;
@@ -98,4 +106,5 @@ fn main() {
         small_gap,
         large_gap
     );
+    harness.finish();
 }

@@ -7,21 +7,24 @@
 use mrbench::calib::claims;
 use mrbench::{BenchConfig, MicroBenchmark, Sweep};
 use mrbench_bench::{
-    check_shape, figure_header, paper_sizes, print_improvements, run_panel, CLUSTER_A_NETWORKS,
+    check_shape, figure_header, paper_sizes, print_improvements, run_panel, Harness,
+    CLUSTER_A_NETWORKS,
 };
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
 fn main() {
+    let mut harness = Harness::from_env("fig3");
     figure_header(
         "Figure 3",
         "Job execution time with different patterns for the YARN architecture on Cluster A",
     );
 
-    let sizes = paper_sizes();
+    let sizes = harness.sizes(paper_sizes());
     let mut sweeps: Vec<(MicroBenchmark, Sweep)> = Vec::new();
     for (panel, bench) in ["(a)", "(b)", "(c)"].iter().zip(MicroBenchmark::ALL) {
         let sweep = run_panel(
+            &mut harness,
             &format!("Fig 3{panel} {bench} — YARN, 32 maps / 16 reduces on 8 slaves"),
             &sizes,
             &CLUSTER_A_NETWORKS,
@@ -31,6 +34,11 @@ fn main() {
         sweeps.push((bench, sweep));
     }
 
+    if harness.quick {
+        harness.note_quick();
+        harness.finish();
+        return;
+    }
     println!("shape checks against the paper's prose:");
     let at = ByteSize::from_gib(16);
     let avg = &sweeps[0].1;
@@ -74,4 +82,5 @@ fn main() {
         t_fig2,
         t_fig3
     );
+    harness.finish();
 }

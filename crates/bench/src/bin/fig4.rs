@@ -7,23 +7,26 @@
 use mrbench::calib::{ANCHOR_IPOIB_16GB_100B_SECS, ANCHOR_IPOIB_16GB_1KB_SECS};
 use mrbench::{BenchConfig, MicroBenchmark};
 use mrbench_bench::{
-    check_shape, figure_header, paper_sizes, print_improvements, run_panel, CLUSTER_A_NETWORKS,
+    check_shape, figure_header, paper_sizes, print_improvements, run_panel, Harness,
+    CLUSTER_A_NETWORKS,
 };
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
 fn main() {
+    let mut harness = Harness::from_env("fig4");
     figure_header(
         "Figure 4",
         "Job execution time with MR-AVG for different key/value pair sizes on Cluster A",
     );
 
-    let sizes = paper_sizes();
+    let sizes = harness.sizes(paper_sizes());
     let kv_sizes: [(usize, &str); 3] = [(100, "100 bytes"), (1024, "1 KB"), (10240, "10 KB")];
     let mut at_16gb_ipoib = Vec::new();
 
     for ((kv, label), panel) in kv_sizes.iter().zip(["(a)", "(b)", "(c)"]) {
         let sweep = run_panel(
+            &mut harness,
             &format!("Fig 4{panel} MR-AVG with key/value size of {label}"),
             &sizes,
             &CLUSTER_A_NETWORKS,
@@ -35,13 +38,20 @@ fn main() {
             },
         );
         print_improvements(&sweep);
-        at_16gb_ipoib.push(
-            sweep
-                .time(ByteSize::from_gib(16), Interconnect::IpoibQdr)
-                .unwrap(),
-        );
+        if !harness.quick {
+            at_16gb_ipoib.push(
+                sweep
+                    .time(ByteSize::from_gib(16), Interconnect::IpoibQdr)
+                    .unwrap(),
+            );
+        }
     }
 
+    if harness.quick {
+        harness.note_quick();
+        harness.finish();
+        return;
+    }
     println!("shape checks against the paper's prose:");
     check_shape(
         "16 GB / IPoIB / 100 B k/v job time (s)",
@@ -66,4 +76,5 @@ fn main() {
         at_16gb_ipoib[1],
         at_16gb_ipoib[2]
     );
+    harness.finish();
 }

@@ -5,7 +5,7 @@
 //! 8 maps + 4 reduces (8M-4R) over 10 GigE and IPoIB QDR.
 
 use mrbench::{BenchConfig, MicroBenchmark, ShuffleVolume, Sweep};
-use mrbench_bench::{figure_header, paper_sizes};
+use mrbench_bench::{figure_header, paper_sizes, Harness};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
@@ -19,26 +19,34 @@ fn config(maps: u32, reduces: u32, shuffle: ByteSize, ic: Interconnect) -> Bench
 }
 
 fn main() {
+    let mut harness = Harness::from_env("fig5");
     figure_header(
         "Figure 5",
         "Job execution time with varying number of maps and reduces on Cluster A",
     );
 
-    let sizes = paper_sizes();
+    let sizes = harness.sizes(paper_sizes());
     let networks = [Interconnect::GigE10, Interconnect::IpoibQdr];
 
     let mut results: Vec<(String, Sweep)> = Vec::new();
     for (maps, reduces) in [(4u32, 2u32), (8, 4)] {
         let label = format!("{maps}M-{reduces}R");
+        let title = format!("Fig 5 MR-AVG with {label}");
         let sweep = Sweep::run_grid(&sizes, &networks, |shuffle, ic| {
             config(maps, reduces, shuffle, ic)
         })
         .expect("valid config");
-        print!("{}", sweep.table(&format!("Fig 5 MR-AVG with {label}")));
+        print!("{}", sweep.table(&title));
         println!();
+        harness.record_sweep(&title, &sweep);
         results.push((label, sweep));
     }
 
+    if harness.quick {
+        harness.note_quick();
+        harness.finish();
+        return;
+    }
     println!("shape checks against the paper's prose:");
     let at = ByteSize::from_gib(32);
     let s42 = &results[0].1;
@@ -89,4 +97,5 @@ fn main() {
         help_ipoib * 100.0,
         help_10g * 100.0
     );
+    harness.finish();
 }

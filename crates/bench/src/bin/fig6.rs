@@ -6,36 +6,41 @@
 
 use mapreduce::io::DataType;
 use mrbench::{BenchConfig, MicroBenchmark, Sweep};
-use mrbench_bench::{figure_header, print_improvements, CLUSTER_A_NETWORKS};
+use mrbench_bench::{figure_header, print_improvements, Harness, CLUSTER_A_NETWORKS};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
 fn main() {
+    let mut harness = Harness::from_env("fig6");
     figure_header(
         "Figure 6",
         "Job execution time with BytesWritable and Text data types on Cluster A",
     );
 
     // "as we scale up to 64 GB"
-    let sizes: Vec<ByteSize> = [16u64, 32, 48, 64].map(ByteSize::from_gib).to_vec();
+    let sizes = harness.sizes([16u64, 32, 48, 64].map(ByteSize::from_gib).to_vec());
 
     let mut sweeps: Vec<(DataType, Sweep)> = Vec::new();
     for (dt, panel) in DataType::ALL.into_iter().zip(["(a)", "(b)"]) {
+        let title = format!("Fig 6{panel} MR-RAND with {dt}");
         let sweep = Sweep::run_grid(&sizes, &CLUSTER_A_NETWORKS, |shuffle, ic| {
             let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Rand, ic, shuffle);
             c.data_type = dt;
             c
         })
         .expect("valid config");
-        print!(
-            "{}",
-            sweep.table(&format!("Fig 6{panel} MR-RAND with {dt}"))
-        );
+        print!("{}", sweep.table(&title));
         println!();
         print_improvements(&sweep);
+        harness.record_sweep(&title, &sweep);
         sweeps.push((dt, sweep));
     }
 
+    if harness.quick {
+        harness.note_quick();
+        harness.finish();
+        return;
+    }
     println!("shape checks against the paper's prose:");
     // "job execution time decreases around 23-25% ... 10GigE ... up to
     //  28% ... IPoIB" — both types see similar gains from fast networks.
@@ -72,4 +77,5 @@ fn main() {
     let t_b = sweeps[0].1.time(at, Interconnect::IpoibQdr).unwrap();
     let t_t = sweeps[1].1.time(at, Interconnect::IpoibQdr).unwrap();
     println!("  [info    ] 64 GB / IPoIB: BytesWritable {t_b:.1}s vs Text {t_t:.1}s");
+    harness.finish();
 }

@@ -7,24 +7,22 @@
 
 use mrbench::calib::claims;
 use mrbench::{run, BenchConfig, BenchReport, MicroBenchmark};
-use mrbench_bench::{check_shape, figure_header, CLUSTER_A_NETWORKS};
+use mrbench_bench::{check_shape, figure_header, Harness, CLUSTER_A_NETWORKS};
+use simcore::stats::TimeSeries;
 use simcore::units::ByteSize;
 use simnet::NodeId;
 
+fn values(series: Option<&TimeSeries>) -> Vec<f64> {
+    series
+        .map(|s| s.samples().iter().map(|s| s.value).collect())
+        .unwrap_or_default()
+}
+
 fn sample_row(report: &BenchReport, node: usize) -> (Vec<f64>, Vec<f64>) {
-    let cpu = report
-        .cpu_series(node)
-        .samples()
-        .iter()
-        .map(|s| s.value)
-        .collect();
-    let rx = report
-        .rx_series(node)
-        .samples()
-        .iter()
-        .map(|s| s.value)
-        .collect();
-    (cpu, rx)
+    (
+        values(report.cpu_series(node)),
+        values(report.rx_series(node)),
+    )
 }
 
 fn print_series(label: &str, values: &[f64], stride: usize) {
@@ -36,16 +34,22 @@ fn print_series(label: &str, values: &[f64], stride: usize) {
 }
 
 fn main() {
+    let mut harness = Harness::from_env("fig7");
     figure_header(
         "Figure 7",
         "Resource utilization on one slave node for MR-AVG (16 GB) on Cluster A",
     );
 
+    let shuffle = harness.shuffle(ByteSize::from_gib(16));
     let mut reports = Vec::new();
     for ic in CLUSTER_A_NETWORKS {
-        let config =
-            BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, ByteSize::from_gib(16));
-        reports.push((ic, run(&config).expect("valid config")));
+        let config = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
+        let report = run(&config).expect("valid config");
+        harness.record_report(
+            &format!("Fig 7 MR-AVG utilization — {}", ic.label()),
+            &report,
+        );
+        reports.push((ic, report));
     }
 
     // Print a decimated view of both series for slave 0 (full resolution
@@ -65,13 +69,18 @@ fn main() {
     }
     println!();
 
+    if harness.quick {
+        harness.note_quick();
+        harness.finish();
+        return;
+    }
     println!("shape checks against the paper's prose:");
     let peaks: Vec<f64> = reports
         .iter()
         .map(|(_, r)| {
             // Peak over all slaves, as a dstat on any slave would show.
             (0..r.config.slaves)
-                .map(|n| r.rx_series(n).peak().unwrap_or(0.0))
+                .map(|n| r.rx_series(n).and_then(TimeSeries::peak).unwrap_or(0.0))
                 .fold(0.0f64, f64::max)
         })
         .collect();
@@ -98,7 +107,7 @@ fn main() {
     //  1GigE": compare mean CPU% over the job.
     let cpu_means: Vec<f64> = reports
         .iter()
-        .map(|(_, r)| r.cpu_series(node).mean().unwrap_or(0.0))
+        .map(|(_, r)| r.cpu_series(node).and_then(TimeSeries::mean).unwrap_or(0.0))
         .collect();
     let spread = cpu_means.iter().fold(0.0f64, |a, &b| a.max(b))
         - cpu_means.iter().fold(f64::INFINITY, |a, &b| a.min(b));
@@ -114,12 +123,7 @@ fn main() {
     // Sanity: the byte integral of the rx series matches what the node
     // actually received.
     let (_, report) = &reports[2];
-    let rx_total_mb: f64 = report
-        .rx_series(node)
-        .samples()
-        .iter()
-        .map(|s| s.value)
-        .sum();
+    let rx_total_mb: f64 = values(report.rx_series(node)).iter().sum();
     let expected_mb =
         report.result.counters.remote_shuffle_bytes as f64 / 1e6 / report.config.slaves as f64;
     println!(
@@ -127,4 +131,5 @@ fn main() {
         rx_total_mb, expected_mb
     );
     let _ = NodeId(0); // slave ids are NodeId in the underlying API
+    harness.finish();
 }

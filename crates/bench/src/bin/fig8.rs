@@ -8,33 +8,38 @@
 
 use mrbench::calib::claims;
 use mrbench::{BenchConfig, Sweep};
-use mrbench_bench::{check_shape, figure_header, paper_sizes};
+use mrbench_bench::{check_shape, figure_header, paper_sizes, Harness};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
 fn main() {
+    let mut harness = Harness::from_env("fig8");
     figure_header(
         "Figure 8",
         "MR-AVG with IPoIB vs RDMA (MRoIB) on Cluster B (56 Gbps FDR)",
     );
 
-    let sizes = paper_sizes();
+    let sizes = harness.sizes(paper_sizes());
     let networks = [Interconnect::IpoibFdr, Interconnect::RdmaFdr];
 
     let mut sweeps = Vec::new();
     for (slaves, panel) in [(8usize, "(a)"), (16, "(b)")] {
+        let title = format!("Fig 8{panel} MR-AVG with {slaves} slave nodes");
         let sweep = Sweep::run_grid(&sizes, &networks, |shuffle, ic| {
             BenchConfig::cluster_b_case_study(ic, shuffle, slaves)
         })
         .expect("valid config");
-        print!(
-            "{}",
-            sweep.table(&format!("Fig 8{panel} MR-AVG with {slaves} slave nodes"))
-        );
+        print!("{}", sweep.table(&title));
         println!();
+        harness.record_sweep(&title, &sweep);
         sweeps.push((slaves, sweep));
     }
 
+    if harness.quick {
+        harness.note_quick();
+        harness.finish();
+        return;
+    }
     println!("shape checks against the paper's prose:");
     let at = ByteSize::from_gib(32);
     let gain_8 = sweeps[0]
@@ -74,4 +79,5 @@ fn main() {
         "  [{}] RDMA wins at every shuffle size on both cluster scales",
         if all_positive { "ok      " } else { "DEVIATES" }
     );
+    harness.finish();
 }

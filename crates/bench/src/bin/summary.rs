@@ -6,6 +6,7 @@
 
 use mrbench::calib::{claims, ANCHOR_IPOIB_16GB_100B_SECS, ANCHOR_IPOIB_16GB_1KB_SECS};
 use mrbench::{run, BenchConfig, MicroBenchmark, Sweep};
+use mrbench_bench::Harness;
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
@@ -18,7 +19,8 @@ struct Row {
 }
 
 fn main() {
-    let gb16 = ByteSize::from_gib(16);
+    let mut harness = Harness::from_env("summary");
+    let gb16 = harness.shuffle(ByteSize::from_gib(16));
     let a_nets = [
         Interconnect::GigE1,
         Interconnect::GigE10,
@@ -31,6 +33,9 @@ fn main() {
     let avg = Sweep::cluster_a(MicroBenchmark::Avg, &[gb16], &a_nets).unwrap();
     let rand = Sweep::cluster_a(MicroBenchmark::Rand, &[gb16], &a_nets).unwrap();
     let skew = Sweep::cluster_a(MicroBenchmark::Skew, &[gb16], &a_nets).unwrap();
+    harness.record_sweep("Fig 2 MR-AVG (MRv1, Cluster A)", &avg);
+    harness.record_sweep("Fig 2 MR-RAND (MRv1, Cluster A)", &rand);
+    harness.record_sweep("Fig 2 MR-SKEW (MRv1, Cluster A)", &skew);
     let imp = |s: &Sweep, fast| s.improvement_pct(gb16, Interconnect::GigE1, fast).unwrap();
     rows.push(Row {
         exp: "Fig 2(a)",
@@ -85,6 +90,8 @@ fn main() {
         BenchConfig::yarn_default(MicroBenchmark::Skew, ic, s)
     })
     .unwrap();
+    harness.record_sweep("Fig 3 MR-AVG (YARN, Cluster A)", &yavg);
+    harness.record_sweep("Fig 3 MR-SKEW (YARN, Cluster A)", &yskew);
     rows.push(Row {
         exp: "Fig 3(a)",
         what: "YARN MR-AVG: 10GigE gain over 1GigE",
@@ -121,6 +128,7 @@ fn main() {
         c
     })
     .unwrap();
+    harness.record_sweep("Fig 4 MR-AVG with 100 B k/v", &small);
     rows.push(Row {
         exp: "Fig 4(a)",
         what: "16 GB / IPoIB / 100 B k/v job time",
@@ -156,6 +164,7 @@ fn main() {
             gb16,
         ))
         .unwrap();
+        harness.record_report(&format!("Fig 7 utilization — {}", ic.label()), &report);
         rows.push(Row {
             exp,
             what: match ic {
@@ -170,7 +179,7 @@ fn main() {
     }
 
     // Fig 8: RDMA case study at 32 GB.
-    let gb32 = ByteSize::from_gib(32);
+    let gb32 = harness.shuffle(ByteSize::from_gib(32));
     for (slaves, paper, exp) in [
         (8usize, claims::RDMA_IMPROVEMENT_8SLAVES_PCT, "Fig 8(a)"),
         (16, claims::RDMA_IMPROVEMENT_16SLAVES_PCT, "Fig 8(b)"),
@@ -181,6 +190,7 @@ fn main() {
             |sz, ic| BenchConfig::cluster_b_case_study(ic, sz, slaves),
         )
         .unwrap();
+        harness.record_sweep(&format!("Fig 8 MR-AVG, {slaves} slaves (Cluster B)"), &s);
         rows.push(Row {
             exp,
             what: if slaves == 8 {
@@ -210,4 +220,9 @@ fn main() {
             r.exp, r.what, r.paper, r.unit, r.measured, r.unit, delta
         );
     }
+    if harness.quick {
+        println!();
+        harness.note_quick();
+    }
+    harness.finish();
 }

@@ -11,13 +11,136 @@
 //! ```text
 //! cargo run --release -p mrbench-bench --bin fig2
 //! ```
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--json [PATH]` — write the run as a `mrbench-artifact-v1` JSON
+//!   document (default `BENCH_<name>.json`).
+//! * `--csv [PATH]` — write one CSV row per simulated run (default
+//!   `BENCH_<name>.csv`).
+//! * `--quick` — CI smoke mode: MiB-scale shuffle sizes so the binary
+//!   finishes in seconds; paper-scale shape checks are skipped.
 
 #![warn(missing_docs)]
+
+use std::path::PathBuf;
 
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
-use mrbench::{BenchConfig, Sweep};
+use mrbench::{ArtifactPaths, Artifacts, BenchConfig, BenchReport, Sweep};
+
+/// Shared command-line harness for the figure binaries: flag parsing,
+/// quick-mode size substitution, and artifact collection.
+pub struct Harness {
+    artifacts: Artifacts,
+    paths: ArtifactPaths,
+    /// CI smoke mode: tiny shuffle sizes, paper-claim checks skipped.
+    pub quick: bool,
+}
+
+impl Harness {
+    /// Parse the standard flags from the process arguments, exiting with
+    /// a usage message on anything unknown.
+    pub fn from_env(name: &str) -> Harness {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Harness::parse(name, &args) {
+            Ok(h) => h,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: {name} [--quick] [--json [PATH]] [--csv [PATH]]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Flag parsing behind [`Harness::from_env`], separated for tests.
+    pub fn parse(name: &str, args: &[String]) -> Result<Harness, String> {
+        let mut paths = ArtifactPaths::default();
+        let mut quick = false;
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--json" | "--csv" => {
+                    let kind = &arg[2..];
+                    let path = match it.peek() {
+                        Some(v) if !v.starts_with("--") => {
+                            PathBuf::from(it.next().expect("peeked"))
+                        }
+                        _ => ArtifactPaths::default_for(name, kind),
+                    };
+                    if kind == "json" {
+                        paths.json = Some(path);
+                    } else {
+                        paths.csv = Some(path);
+                    }
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        Ok(Harness {
+            artifacts: Artifacts::new(name),
+            paths,
+            quick,
+        })
+    }
+
+    /// The figure's shuffle-size axis: `full` normally, [`quick_sizes`]
+    /// under `--quick`.
+    pub fn sizes(&self, full: Vec<ByteSize>) -> Vec<ByteSize> {
+        if self.quick {
+            quick_sizes()
+        } else {
+            full
+        }
+    }
+
+    /// A single-run shuffle size: `full` normally, 512 MiB under
+    /// `--quick`.
+    pub fn shuffle(&self, full: ByteSize) -> ByteSize {
+        if self.quick {
+            ByteSize::from_mib(512)
+        } else {
+            full
+        }
+    }
+
+    /// Print the standard notice when `--quick` suppresses the
+    /// paper-scale shape checks.
+    pub fn note_quick(&self) {
+        println!("(--quick: MiB-scale sizes; paper-scale shape checks skipped)");
+    }
+
+    /// Record a sweep panel into the artifact.
+    pub fn record_sweep(&mut self, title: &str, sweep: &Sweep) {
+        self.artifacts.record_sweep(title, sweep.clone());
+    }
+
+    /// Record a single-report panel into the artifact.
+    pub fn record_report(&mut self, title: &str, report: &BenchReport) {
+        self.artifacts.record_report(title, report.clone());
+    }
+
+    /// Write the requested artifact files, if any. Call last in `main`.
+    pub fn finish(self) {
+        if self.paths.is_empty() {
+            return;
+        }
+        if let Err(e) = self
+            .artifacts
+            .write(self.paths.json.as_deref(), self.paths.csv.as_deref())
+        {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The MiB-scale axis `--quick` substitutes for the figure grids.
+pub fn quick_sizes() -> Vec<ByteSize> {
+    [256u64, 512].map(ByteSize::from_mib).to_vec()
+}
 
 /// The shuffle sizes the Cluster A figures sweep.
 pub fn paper_sizes() -> Vec<ByteSize> {
@@ -32,15 +155,19 @@ pub const CLUSTER_A_NETWORKS: [Interconnect; 3] = [
 ];
 
 /// Run one panel: a (size × interconnect) grid with a config builder.
+/// The sweep is printed as the paper-style table and recorded into the
+/// harness's artifact under `title`.
 pub fn run_panel(
+    harness: &mut Harness,
     title: &str,
     sizes: &[ByteSize],
     networks: &[Interconnect],
-    make: impl Fn(ByteSize, Interconnect) -> BenchConfig,
+    make: impl Fn(ByteSize, Interconnect) -> BenchConfig + Sync,
 ) -> Sweep {
     let sweep = Sweep::run_grid(sizes, networks, make).expect("valid panel config");
     print!("{}", sweep.table(title));
     println!();
+    harness.record_sweep(title, &sweep);
     sweep
 }
 
@@ -116,6 +243,32 @@ mod tests {
         assert_eq!(sizes.len(), 4);
         assert_eq!(sizes[0], ByteSize::from_gib(8));
         assert_eq!(sizes[3], ByteSize::from_gib(32));
+    }
+
+    #[test]
+    fn harness_flags_parse() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let h = Harness::parse("fig2", &s(&[])).unwrap();
+        assert!(!h.quick);
+        assert!(h.paths.is_empty());
+
+        let h = Harness::parse("fig2", &s(&["--quick", "--json"])).unwrap();
+        assert!(h.quick);
+        assert_eq!(h.paths.json, Some(PathBuf::from("BENCH_fig2.json")));
+        assert_eq!(h.paths.csv, None);
+
+        let h = Harness::parse("fig2", &s(&["--json", "out.json", "--csv"])).unwrap();
+        assert_eq!(h.paths.json, Some(PathBuf::from("out.json")));
+        assert_eq!(h.paths.csv, Some(PathBuf::from("BENCH_fig2.csv")));
+
+        assert!(Harness::parse("fig2", &s(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn quick_sizes_are_mib_scale() {
+        for s in quick_sizes() {
+            assert!(s <= ByteSize::from_mib(512));
+        }
     }
 
     #[test]

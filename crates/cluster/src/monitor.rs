@@ -46,6 +46,26 @@ impl CpuMonitor {
         }
     }
 
+    /// Emit the final, possibly partial, sampling window ending at `end`.
+    ///
+    /// Mirrors `simnet::NetworkMonitor::flush`: busy core-seconds accrued
+    /// after the last whole-interval tick are reported as one tail sample
+    /// with utilization computed over the partial window. Idempotent.
+    pub fn flush(&mut self, end: SimTime, cpu: &mut CpuSim) {
+        self.maybe_sample(end, cpu);
+        let window_start = self.next_sample - self.interval;
+        if end <= window_start {
+            return;
+        }
+        let dt = end.since(window_start).as_secs_f64();
+        for node in 0..self.series.len() {
+            let core_s = cpu.drain_busy_core_seconds(node, end);
+            let pct = core_s / dt / cpu.cores(node) as f64 * 100.0;
+            self.series[node].push(end, pct);
+        }
+        self.next_sample = end + self.interval;
+    }
+
     /// CPU % series for `node`.
     pub fn series(&self, node: usize) -> &TimeSeries {
         &self.series[node]
@@ -80,5 +100,53 @@ mod tests {
         assert!((s.samples()[1].value - 50.0).abs() < 1e-6);
         assert!(s.samples()[2].value < 1.0);
         assert!(s.samples()[3].value < 1.0);
+    }
+
+    #[test]
+    fn flush_captures_final_partial_interval() {
+        let mut cpu = CpuSim::homogeneous(1, 4, 1.0);
+        let mut mon = CpuMonitor::new(1, SimDuration::from_secs(1));
+        // One task burning 2.5 core-seconds on one core: busy to t = 2.5 s.
+        cpu.submit(SimTime::ZERO, 0, 2.5, 0);
+        for _ in 0..2 {
+            let next = mon.next_sample_time();
+            while let Some(t) = cpu.next_event_time() {
+                if t > next {
+                    break;
+                }
+                cpu.advance_to(t);
+            }
+            cpu.advance_to(next);
+            mon.maybe_sample(next, &mut cpu);
+        }
+        let end = SimTime::from_nanos(2_500_000_000);
+        while let Some(t) = cpu.next_event_time() {
+            if t > end {
+                break;
+            }
+            cpu.advance_to(t);
+        }
+        cpu.advance_to(end);
+        mon.flush(end, &mut cpu);
+        let s = mon.series(0).clone();
+        assert_eq!(s.len(), 3);
+        // 1 of 4 cores busy for the full window in every sample, tail
+        // window included.
+        for sample in s.samples() {
+            assert!((sample.value - 25.0).abs() < 1e-6, "{sample:?}");
+        }
+        assert_eq!(s.samples()[2].time, end);
+        // Integrated core-seconds across all samples equal the work
+        // submitted: nothing dropped in the tail window.
+        let mut prev = SimTime::ZERO;
+        let mut core_s = 0.0;
+        for sample in s.samples() {
+            core_s += sample.value / 100.0 * 4.0 * sample.time.since(prev).as_secs_f64();
+            prev = sample.time;
+        }
+        assert!((core_s - 2.5).abs() < 1e-9, "core_s = {core_s}");
+        // A second flush at the same instant adds nothing.
+        mon.flush(end, &mut cpu);
+        assert_eq!(mon.series(0).len(), 3);
     }
 }

@@ -1,0 +1,286 @@
+//! Machine-readable benchmark artifacts (`BENCH_<name>.json` / CSV).
+//!
+//! A binary run produces a sequence of *panels* — sweeps (the paper's
+//! figure grids) and single reports (e.g. the fault scenarios) — that
+//! were previously only pretty-printed. [`Artifacts`] collects them as
+//! they are produced and writes one JSON document and/or one CSV table
+//! at exit, so perf trajectories can be tracked across commits.
+//!
+//! JSON schema (`mrbench-artifact-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "mrbench-artifact-v1",
+//!   "name": "fig2",
+//!   "panels": [
+//!     {"title": "...", "kind": "sweep",  "sweep":  { ...Sweep::to_json... }},
+//!     {"title": "...", "kind": "report", "report": { ...BenchReport::to_json... }}
+//!   ]
+//! }
+//! ```
+//!
+//! Everything round-trips: [`Artifacts::from_json`] rebuilds the full
+//! report types, down to nanosecond job times and utilization samples.
+
+use std::path::{Path, PathBuf};
+
+use simcore::jobj;
+use simcore::json::Json;
+
+use crate::report::{BenchReport, CSV_HEADER};
+use crate::sweep::Sweep;
+
+/// Schema tag written into every artifact document.
+pub const SCHEMA: &str = "mrbench-artifact-v1";
+
+/// One recorded panel: a sweep grid or a single report.
+#[derive(Debug)]
+pub enum Panel {
+    /// A (shuffle size × interconnect) grid.
+    Sweep {
+        /// Panel title as printed above the table.
+        title: String,
+        /// The grid.
+        sweep: Sweep,
+    },
+    /// One stand-alone run. Boxed so the enum stays small next to the
+    /// slim `Sweep` variant.
+    Report {
+        /// Scenario label.
+        title: String,
+        /// The run's report.
+        report: Box<BenchReport>,
+    },
+}
+
+impl Panel {
+    /// The panel's title.
+    pub fn title(&self) -> &str {
+        match self {
+            Panel::Sweep { title, .. } | Panel::Report { title, .. } => title,
+        }
+    }
+}
+
+/// Collects panels during a run and writes them to the paths requested
+/// on the command line.
+#[derive(Debug)]
+pub struct Artifacts {
+    /// Artifact name (by convention the binary name, e.g. `fig2`).
+    pub name: String,
+    /// Panels in production order.
+    pub panels: Vec<Panel>,
+}
+
+impl Artifacts {
+    /// Empty collector for the binary `name`.
+    pub fn new(name: &str) -> Self {
+        Artifacts {
+            name: name.to_string(),
+            panels: Vec::new(),
+        }
+    }
+
+    /// Record a sweep panel.
+    pub fn record_sweep(&mut self, title: &str, sweep: Sweep) {
+        self.panels.push(Panel::Sweep {
+            title: title.to_string(),
+            sweep,
+        });
+    }
+
+    /// Record a single-report panel.
+    pub fn record_report(&mut self, title: &str, report: BenchReport) {
+        self.panels.push(Panel::Report {
+            title: title.to_string(),
+            report: Box::new(report),
+        });
+    }
+
+    /// Serialize every panel under the `mrbench-artifact-v1` schema.
+    pub fn to_json(&self) -> Json {
+        jobj! {
+            "schema": SCHEMA,
+            "name": self.name.as_str(),
+            "panels": Json::Arr(
+                self.panels
+                    .iter()
+                    .map(|p| match p {
+                        Panel::Sweep { title, sweep } => jobj! {
+                            "title": title.as_str(),
+                            "kind": "sweep",
+                            "sweep": sweep.to_json(),
+                        },
+                        Panel::Report { title, report } => jobj! {
+                            "title": title.as_str(),
+                            "kind": "report",
+                            "report": report.to_json(),
+                        },
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Rebuild from the [`Artifacts::to_json`] encoding.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let schema = json.field_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported artifact schema '{schema}'"));
+        }
+        let panels = json
+            .field_arr("panels")?
+            .iter()
+            .map(|p| {
+                let title = p.field_str("title")?.to_string();
+                match p.field_str("kind")? {
+                    "sweep" => Ok(Panel::Sweep {
+                        title,
+                        sweep: Sweep::from_json(p.req("sweep")?)?,
+                    }),
+                    "report" => Ok(Panel::Report {
+                        title,
+                        report: Box::new(BenchReport::from_json(p.req("report")?)?),
+                    }),
+                    other => Err(format!("unknown panel kind '{other}'")),
+                }
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(Artifacts {
+            name: json.field_str("name")?.to_string(),
+            panels,
+        })
+    }
+
+    /// The artifact as a CSV table: header plus one row per run.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for panel in &self.panels {
+            match panel {
+                Panel::Sweep { title, sweep } => {
+                    for row in sweep.csv_rows(title) {
+                        out.push_str(&row);
+                        out.push('\n');
+                    }
+                }
+                Panel::Report { title, report } => {
+                    out.push_str(&report.csv_row(title));
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Write the JSON and/or CSV files, reporting each path written on
+    /// stdout. Empty collectors still write (an artifact with zero
+    /// panels is a valid, parseable document).
+    pub fn write(&self, json_path: Option<&Path>, csv_path: Option<&Path>) -> Result<(), String> {
+        if let Some(path) = json_path {
+            std::fs::write(path, self.to_json().to_pretty())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+        if let Some(path) = csv_path {
+            std::fs::write(path, self.to_csv())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// Output paths requested via `--json [PATH]` / `--csv [PATH]`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ArtifactPaths {
+    /// JSON artifact destination.
+    pub json: Option<PathBuf>,
+    /// CSV artifact destination.
+    pub csv: Option<PathBuf>,
+}
+
+impl ArtifactPaths {
+    /// True when neither output was requested.
+    pub fn is_empty(&self) -> bool {
+        self.json.is_none() && self.csv.is_none()
+    }
+
+    /// Default path (`BENCH_<name>.json` / `BENCH_<name>.csv`) for
+    /// flags given without a value.
+    pub fn default_for(name: &str, kind: &str) -> PathBuf {
+        PathBuf::from(format!("BENCH_{name}.{kind}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::MicroBenchmark;
+    use crate::config::BenchConfig;
+    use crate::runner::run;
+    use simcore::units::ByteSize;
+    use simnet::Interconnect;
+
+    fn tiny(shuffle: ByteSize, ic: Interconnect) -> BenchConfig {
+        let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
+        c.slaves = 2;
+        c.num_maps = 4;
+        c.num_reduces = 4;
+        c
+    }
+
+    #[test]
+    fn artifact_round_trips_and_tabulates() {
+        let sizes = [ByteSize::from_mib(64)];
+        let ics = [Interconnect::GigE1, Interconnect::RdmaFdr];
+        let sweep = Sweep::run_grid_serial(&sizes, &ics, tiny).unwrap();
+        let single = run(&tiny(ByteSize::from_mib(64), Interconnect::GigE1)).unwrap();
+
+        let mut art = Artifacts::new("unit");
+        art.record_sweep("panel one", sweep);
+        art.record_report("scenario", single);
+
+        let text = art.to_json().to_pretty();
+        let back = Artifacts::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.name, "unit");
+        assert_eq!(back.panels.len(), 2);
+        assert_eq!(back.to_json().to_pretty(), text, "canonical round-trip");
+
+        // Job times in the decoded artifact match the originals.
+        let (Panel::Sweep { sweep: s0, .. }, Panel::Sweep { sweep: s1, .. }) =
+            (&art.panels[0], &back.panels[0])
+        else {
+            panic!("expected sweep panels");
+        };
+        for (a, b) in s0.cells.iter().zip(&s1.cells) {
+            assert_eq!(a.report.result.job_time, b.report.result.job_time);
+        }
+
+        let csv = art.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        assert_eq!(
+            csv.lines().count(),
+            1 + 2 + 1,
+            "header + 2 cells + 1 report"
+        );
+        assert!(csv.contains("panel one,MR-AVG"));
+        assert!(csv.contains("scenario,MR-AVG"));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let doc = Json::parse(r#"{"schema": "other", "name": "x", "panels": []}"#).unwrap();
+        assert!(Artifacts::from_json(&doc).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn default_paths_follow_convention() {
+        assert_eq!(
+            ArtifactPaths::default_for("fig2", "json"),
+            PathBuf::from("BENCH_fig2.json")
+        );
+        assert!(ArtifactPaths::default().is_empty());
+    }
+}

@@ -6,7 +6,7 @@
 use std::process::ExitCode;
 
 use mrbench::cli::{parse_args, USAGE};
-use mrbench::{run, Interconnect, ShuffleEngineKind, ShuffleVolume, Sweep};
+use mrbench::{run, Artifacts, Interconnect, ShuffleEngineKind, ShuffleVolume, Sweep};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,16 +45,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        print!(
-            "{}",
-            sweep.table(&format!(
-                "{} — {} maps / {} reduces on {} slaves",
-                cli.config.benchmark,
-                cli.config.num_maps,
-                cli.config.num_reduces,
-                cli.config.slaves
-            ))
+        let title = format!(
+            "{} — {} maps / {} reduces on {} slaves",
+            cli.config.benchmark, cli.config.num_maps, cli.config.num_reduces, cli.config.slaves
         );
+        print!("{}", sweep.table(&title));
+        if !cli.artifacts.is_empty() {
+            let mut artifacts = Artifacts::new("mrbench");
+            artifacts.record_sweep(&title, sweep);
+            if let Err(e) =
+                artifacts.write(cli.artifacts.json.as_deref(), cli.artifacts.csv.as_deref())
+            {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -85,6 +90,15 @@ fn main() -> ExitCode {
                 t.finish.as_secs_f64(),
                 t.elapsed().as_secs_f64(),
             );
+        }
+    }
+    if !cli.artifacts.is_empty() {
+        let mut artifacts = Artifacts::new("mrbench");
+        artifacts.record_report(&format!("{}", cli.config.benchmark), report.clone());
+        if let Err(e) = artifacts.write(cli.artifacts.json.as_deref(), cli.artifacts.csv.as_deref())
+        {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if !report.result.succeeded() {

@@ -4,10 +4,13 @@
 //! list), but with real error messages and full coverage of the suite's
 //! knobs.
 
+use std::path::PathBuf;
+
 use mapreduce::{NodeCrash, NodeSlowdown};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
+use crate::artifact::ArtifactPaths;
 use crate::config::{BenchConfig, ShuffleVolume};
 use crate::{ClusterPreset, EngineKind, MicroBenchmark, ShuffleEngineKind};
 
@@ -19,6 +22,8 @@ pub struct Cli {
     pub compare: bool,
     /// Print the per-task timeline after the report.
     pub timeline: bool,
+    /// Machine-readable output requested via `--json` / `--csv`.
+    pub artifacts: ArtifactPaths,
 }
 
 /// Usage text for `--help`.
@@ -48,6 +53,10 @@ OPTIONS:
     --zipf-exponent <S>            exponent for --bench zipf  [default: 1.0]
     --seed <N>                     master seed
     --timeline                     print the per-task timeline
+    --json [PATH]                  also write the run as a JSON artifact
+                                   [default path: BENCH_mrbench.json]
+    --csv [PATH]                   also write a CSV summary table
+                                   [default path: BENCH_mrbench.csv]
 
 FAULT INJECTION:
     --fail-prob <P>                per-attempt task failure probability (maps
@@ -72,9 +81,25 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     );
     let mut compare = false;
     let mut timeline = false;
+    let mut artifacts = ArtifactPaths::default();
 
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
+        // Flags whose value is optional peek ahead, so they are handled
+        // before the `value` closure borrows the iterator.
+        if arg == "--json" || arg == "--csv" {
+            let kind = &arg[2..];
+            let path = match it.peek() {
+                Some(v) if !v.starts_with("--") => PathBuf::from(it.next().unwrap()),
+                _ => ArtifactPaths::default_for("mrbench", kind),
+            };
+            if kind == "json" {
+                artifacts.json = Some(path);
+            } else {
+                artifacts.csv = Some(path);
+            }
+            continue;
+        }
         let mut value = |name: &str| -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
@@ -150,6 +175,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         config,
         compare,
         timeline,
+        artifacts,
     })
 }
 
@@ -343,6 +369,37 @@ mod tests {
     fn pairs_overrides_volume() {
         let cli = parse(&["--pairs", "1234"]).unwrap();
         assert_eq!(cli.config.volume, ShuffleVolume::PairsPerMap(1234));
+    }
+
+    #[test]
+    fn artifact_flags() {
+        // No flags: no artifacts.
+        assert!(parse(&[]).unwrap().artifacts.is_empty());
+        // Bare flags fall back to the conventional paths.
+        let cli = parse(&["--json", "--csv"]).unwrap();
+        assert_eq!(
+            cli.artifacts.json.as_deref(),
+            Some(std::path::Path::new("BENCH_mrbench.json"))
+        );
+        assert_eq!(
+            cli.artifacts.csv.as_deref(),
+            Some(std::path::Path::new("BENCH_mrbench.csv"))
+        );
+        // Explicit paths are taken, and parsing continues after them.
+        let cli = parse(&["--json", "out/run.json", "--maps", "8"]).unwrap();
+        assert_eq!(
+            cli.artifacts.json.as_deref(),
+            Some(std::path::Path::new("out/run.json"))
+        );
+        assert!(cli.artifacts.csv.is_none());
+        assert_eq!(cli.config.num_maps, 8);
+        // A following option is not swallowed as a path.
+        let cli = parse(&["--json", "--timeline"]).unwrap();
+        assert_eq!(
+            cli.artifacts.json.as_deref(),
+            Some(std::path::Path::new("BENCH_mrbench.json"))
+        );
+        assert!(cli.timeline);
     }
 
     #[test]

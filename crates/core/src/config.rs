@@ -11,10 +11,24 @@ use mapreduce::conf::{EngineKind, JobConf, ShuffleEngineKind};
 use mapreduce::io::DataType;
 use mapreduce::job::JobSpec;
 use mapreduce::FaultPlan;
+use simcore::jobj;
+use simcore::json::Json;
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
 use crate::bench::MicroBenchmark;
+
+/// Stable artifact token for an interconnect; the inverse of
+/// [`crate::cli::parse_network`].
+pub(crate) fn interconnect_token(ic: Interconnect) -> &'static str {
+    match ic {
+        Interconnect::GigE1 => "1gige",
+        Interconnect::GigE10 => "10gige",
+        Interconnect::IpoibQdr => "ipoib-qdr",
+        Interconnect::IpoibFdr => "ipoib-fdr",
+        Interconnect::RdmaFdr => "rdma-fdr",
+    }
+}
 
 /// How much intermediate data the job generates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -219,6 +233,83 @@ impl BenchConfig {
         }
         self.job_spec().validate()
     }
+
+    /// Serialize to JSON. Enum fields use their stable CLI/report
+    /// tokens; the volume is tagged by kind.
+    pub fn to_json(&self) -> Json {
+        jobj! {
+            "benchmark": self.benchmark.label(),
+            "key_size": self.key_size,
+            "value_size": self.value_size,
+            "volume": match self.volume {
+                ShuffleVolume::PairsPerMap(n) => jobj! { "pairs_per_map": n },
+                ShuffleVolume::TotalBytes(b) => jobj! { "total_bytes": b.as_bytes() },
+            },
+            "data_type": self.data_type.label(),
+            "num_maps": self.num_maps,
+            "num_reduces": self.num_reduces,
+            "slaves": self.slaves,
+            "cluster": match self.cluster {
+                ClusterPreset::ClusterA => "a",
+                ClusterPreset::ClusterB => "b",
+            },
+            "interconnect": interconnect_token(self.interconnect),
+            "engine": match self.engine {
+                EngineKind::MRv1 => "mrv1",
+                EngineKind::Yarn => "yarn",
+            },
+            "shuffle_engine": match self.shuffle_engine {
+                ShuffleEngineKind::Tcp => "tcp",
+                ShuffleEngineKind::Rdma => "rdma",
+            },
+            "seed": self.seed,
+            "zipf_exponent": self.zipf_exponent,
+            "faults": self.faults.to_json(),
+            "max_attempts": self.max_attempts,
+            "speculative": self.speculative,
+        }
+    }
+
+    /// Rebuild from the [`BenchConfig::to_json`] encoding.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let volume = json.req("volume")?;
+        let volume = if let Some(n) = volume.get("pairs_per_map") {
+            ShuffleVolume::PairsPerMap(n.as_u64().ok_or("bad pairs_per_map")?)
+        } else {
+            ShuffleVolume::TotalBytes(ByteSize::from_bytes(volume.field_u64("total_bytes")?))
+        };
+        Ok(BenchConfig {
+            benchmark: json.field_str("benchmark")?.parse()?,
+            key_size: json.field_usize("key_size")?,
+            value_size: json.field_usize("value_size")?,
+            volume,
+            data_type: json.field_str("data_type")?.parse()?,
+            num_maps: json.field_u32("num_maps")?,
+            num_reduces: json.field_u32("num_reduces")?,
+            slaves: json.field_usize("slaves")?,
+            cluster: match json.field_str("cluster")? {
+                "a" => ClusterPreset::ClusterA,
+                "b" => ClusterPreset::ClusterB,
+                other => return Err(format!("unknown cluster '{other}'")),
+            },
+            interconnect: crate::cli::parse_network(json.field_str("interconnect")?)?,
+            engine: match json.field_str("engine")? {
+                "mrv1" => EngineKind::MRv1,
+                "yarn" => EngineKind::Yarn,
+                other => return Err(format!("unknown engine '{other}'")),
+            },
+            shuffle_engine: match json.field_str("shuffle_engine")? {
+                "tcp" => ShuffleEngineKind::Tcp,
+                "rdma" => ShuffleEngineKind::Rdma,
+                other => return Err(format!("unknown shuffle engine '{other}'")),
+            },
+            seed: json.field_u64("seed")?,
+            zipf_exponent: json.field_f64("zipf_exponent")?,
+            faults: FaultPlan::from_json(json.req("faults")?)?,
+            max_attempts: json.field_u32("max_attempts")?,
+            speculative: json.field_bool("speculative")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +402,36 @@ mod tests {
         assert_eq!(conf.faults, c.faults);
         assert_eq!(conf.max_attempts, 2);
         assert!(conf.speculative);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut c =
+            BenchConfig::cluster_b_case_study(Interconnect::RdmaFdr, ByteSize::from_gib(16), 8);
+        c.benchmark = MicroBenchmark::Zipf;
+        c.zipf_exponent = 0.75;
+        c.speculative = true;
+        c.faults.fetch_failure_prob = 0.05;
+        c.faults.node_slowdowns.push(mapreduce::NodeSlowdown {
+            node: 3,
+            factor: 2.5,
+        });
+        c.faults.fail_first_attempt_maps = vec![0, 7];
+        let text = c.to_json().to_pretty();
+        let back = BenchConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        // The encoding is canonical: re-serializing the decoded config
+        // reproduces the same document, so every field round-tripped.
+        assert_eq!(back.to_json().to_pretty(), text);
+        assert_eq!(back.benchmark, MicroBenchmark::Zipf);
+        assert_eq!(back.interconnect, Interconnect::RdmaFdr);
+        assert_eq!(back.shuffle_engine, ShuffleEngineKind::Rdma);
+        assert_eq!(back.faults, c.faults);
+        assert_eq!(back.volume, c.volume);
+
+        // PairsPerMap volumes round-trip through their own tag.
+        c.volume = ShuffleVolume::PairsPerMap(4096);
+        let back = BenchConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(back.volume, ShuffleVolume::PairsPerMap(4096));
     }
 
     #[test]

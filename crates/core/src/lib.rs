@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod bench;
 pub mod calib;
 pub mod cli;
@@ -47,6 +48,7 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use artifact::{ArtifactPaths, Artifacts, Panel};
 pub use bench::MicroBenchmark;
 pub use config::{BenchConfig, ShuffleVolume};
 pub use gen::KvGenerator;

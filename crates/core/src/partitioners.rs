@@ -198,6 +198,71 @@ mod tests {
     }
 
     #[test]
+    fn skew_partition_loop_equals_assign_counts() {
+        // SkewPartitioner relies on the default bulk path, so the
+        // per-record loop and assign_counts must consume the RNG
+        // identically — for every reducer count, including the clamped
+        // n < 3 cases.
+        for n_red in [1u32, 2, 3, 8] {
+            let mut a = SkewPartitioner::new(11);
+            let mut loop_counts = vec![0u64; n_red as usize];
+            for i in 0..50_000u64 {
+                loop_counts[a.partition(&[], i, n_red) as usize] += 1;
+            }
+            let mut b = SkewPartitioner::new(11);
+            assert_eq!(
+                b.assign_counts(50_000, n_red, &mut no_keys),
+                loop_counts,
+                "n_reducers = {n_red}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_random_tail_is_uniform_across_all_reducers() {
+        // The last 12.5 % bucket draws nextInt(n) over ALL reducers, so a
+        // reducer past rank 2 sees exactly the tail share: 12.5 % / n.
+        let n = 400_000u64;
+        let mut p = SkewPartitioner::new(9);
+        let counts = p.assign_counts(n, 4, &mut no_keys);
+        let frac3 = counts[3] as f64 / n as f64;
+        assert!((frac3 - 0.031_25).abs() < 0.005, "{counts:?}");
+    }
+
+    #[test]
+    fn skew_two_reducers_fold_onto_paper_fractions() {
+        // With two reducers the 25 % and 12.5 % buckets both clamp onto
+        // reducer 1 and the random tail splits evenly:
+        // r0 = 50 % + 6.25 % = 56.25 %, r1 = 25 % + 12.5 % + 6.25 %.
+        let n = 200_000u64;
+        let mut p = SkewPartitioner::new(5);
+        let counts = p.assign_counts(n, 2, &mut no_keys);
+        assert_eq!(counts.iter().sum::<u64>(), n);
+        let frac = |i: usize| counts[i] as f64 / n as f64;
+        assert!((frac(0) - 0.5625).abs() < 0.01, "{counts:?}");
+        assert!((frac(1) - 0.4375).abs() < 0.01, "{counts:?}");
+    }
+
+    #[test]
+    fn skew_three_reducers_match_paper_fractions() {
+        // The smallest grid the paper's MR-SKEW definition fully fits:
+        // r0 = 50 % + 12.5 %/3, r1 = 25 % + 12.5 %/3, r2 = 12.5 % + 12.5 %/3.
+        let n = 300_000u64;
+        let mut p = SkewPartitioner::new(13);
+        let counts = p.assign_counts(n, 3, &mut no_keys);
+        let frac = |i: usize| counts[i] as f64 / n as f64;
+        assert!((frac(0) - (0.50 + 0.125 / 3.0)).abs() < 0.01, "{counts:?}");
+        assert!((frac(1) - (0.25 + 0.125 / 3.0)).abs() < 0.01, "{counts:?}");
+        assert!((frac(2) - (0.125 + 0.125 / 3.0)).abs() < 0.01, "{counts:?}");
+    }
+
+    #[test]
+    fn skew_single_reducer_takes_everything() {
+        let mut p = SkewPartitioner::new(5);
+        assert_eq!(p.assign_counts(10_000, 1, &mut no_keys), vec![10_000]);
+    }
+
+    #[test]
     fn factories_have_paper_names() {
         assert_eq!(AvgFactory.name(), "MR-AVG");
         assert_eq!(RandFactory.name(), "MR-RAND");

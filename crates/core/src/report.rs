@@ -6,9 +6,13 @@
 use std::fmt;
 
 use mapreduce::job::JobResult;
+use simcore::jobj;
+use simcore::json::Json;
 use simcore::stats::TimeSeries;
+use simcore::units::ByteSize;
 
-use crate::config::BenchConfig;
+use crate::config::{interconnect_token, BenchConfig};
+use crate::sweep::{Sweep, SweepCell};
 
 /// Everything one benchmark run produced.
 #[derive(Clone, Debug)]
@@ -37,18 +41,147 @@ impl BenchReport {
     }
 
     /// CPU utilization series of one slave (Fig. 7(a) plots slave 0).
-    pub fn cpu_series(&self, node: usize) -> &TimeSeries {
-        &self.result.cpu_series[node]
+    /// `None` when `node` is not a slave of this run.
+    pub fn cpu_series(&self, node: usize) -> Option<&TimeSeries> {
+        self.result.cpu_series.get(node)
     }
 
-    /// Network receive series of one slave (Fig. 7(b)).
-    pub fn rx_series(&self, node: usize) -> &TimeSeries {
-        &self.result.net_rx_series[node]
+    /// Network receive series of one slave (Fig. 7(b)). `None` when
+    /// `node` is not a slave of this run.
+    pub fn rx_series(&self, node: usize) -> Option<&TimeSeries> {
+        self.result.net_rx_series.get(node)
     }
 
     /// Duration of the map phase in seconds.
     pub fn map_phase_secs(&self) -> f64 {
         self.result.map_phase_end.as_secs_f64()
+    }
+
+    /// Serialize to JSON: the full config plus the full result, enough
+    /// to rebuild this report exactly.
+    pub fn to_json(&self) -> Json {
+        jobj! {
+            "config": self.config.to_json(),
+            "result": self.result.to_json(),
+        }
+    }
+
+    /// Rebuild from the [`BenchReport::to_json`] encoding.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        Ok(BenchReport {
+            config: BenchConfig::from_json(json.req("config")?)?,
+            result: JobResult::from_json(json.req("result")?)?,
+        })
+    }
+
+    /// One CSV row for this report. Column order matches
+    /// [`CSV_HEADER`]; `panel` tags which table/figure the row belongs
+    /// to and is quoted when it contains CSV metacharacters.
+    pub fn csv_row(&self, panel: &str) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.1},{:.1},{}",
+            csv_field(panel),
+            self.config.benchmark.label(),
+            self.config.shuffle_bytes().as_bytes(),
+            interconnect_token(self.config.interconnect),
+            match self.config.engine {
+                mapreduce::conf::EngineKind::MRv1 => "mrv1",
+                mapreduce::conf::EngineKind::Yarn => "yarn",
+            },
+            self.result.outcome.as_str(),
+            self.job_time_secs(),
+            self.map_phase_secs(),
+            self.result.shuffle_end.as_secs_f64(),
+            self.peak_cpu_pct(),
+            self.peak_rx_mbps(),
+            self.result.counters.failed_task_attempts,
+        )
+    }
+}
+
+/// Header line for benchmark CSV exports; see [`BenchReport::csv_row`].
+pub const CSV_HEADER: &str = "panel,benchmark,shuffle_bytes,interconnect,engine,outcome,\
+job_time_s,map_phase_s,shuffle_end_s,peak_cpu_pct,peak_rx_mbps,failed_attempts";
+
+/// RFC 4180 quoting: wrap the field in double quotes when it contains a
+/// comma, quote, or newline, doubling any embedded quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl Sweep {
+    /// Serialize the whole grid: row/column labels plus every cell's
+    /// full [`BenchReport`], in row-major order.
+    pub fn to_json(&self) -> Json {
+        jobj! {
+            "sizes": Json::Arr(self.sizes.iter().map(|s| Json::from(s.as_bytes())).collect()),
+            "interconnects": Json::Arr(
+                self.interconnects
+                    .iter()
+                    .map(|&ic| Json::from(interconnect_token(ic)))
+                    .collect(),
+            ),
+            "cells": Json::Arr(
+                self.cells
+                    .iter()
+                    .map(|c| {
+                        jobj! {
+                            "shuffle_bytes": c.shuffle.as_bytes(),
+                            "interconnect": interconnect_token(c.interconnect),
+                            "report": c.report.to_json(),
+                        }
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Rebuild from the [`Sweep::to_json`] encoding.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let sizes = json
+            .field_arr("sizes")?
+            .iter()
+            .map(|s| s.as_u64().map(ByteSize::from_bytes).ok_or("bad size"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let interconnects = json
+            .field_arr("interconnects")?
+            .iter()
+            .map(|ic| crate::cli::parse_network(ic.as_str().ok_or("bad interconnect")?))
+            .collect::<Result<Vec<_>, _>>()?;
+        let cells = json
+            .field_arr("cells")?
+            .iter()
+            .map(|c| {
+                Ok(SweepCell {
+                    shuffle: ByteSize::from_bytes(c.field_u64("shuffle_bytes")?),
+                    interconnect: crate::cli::parse_network(c.field_str("interconnect")?)?,
+                    report: BenchReport::from_json(c.req("report")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if cells.len() != sizes.len() * interconnects.len() {
+            return Err(format!(
+                "sweep has {} cells but a {}x{} grid",
+                cells.len(),
+                sizes.len(),
+                interconnects.len()
+            ));
+        }
+        Ok(Sweep {
+            sizes,
+            interconnects,
+            cells,
+        })
+    }
+
+    /// CSV rows for every cell, in row-major order (no header; see
+    /// [`CSV_HEADER`]).
+    pub fn csv_rows(&self, panel: &str) -> Vec<String> {
+        self.cells.iter().map(|c| c.report.csv_row(panel)).collect()
     }
 }
 
@@ -153,6 +286,45 @@ mod tests {
         assert!(text.contains("outcome              SUCCEEDED"));
         assert!(report.job_time_secs() > 0.0);
         assert!(report.peak_cpu_pct() > 0.0);
+        // Series accessors: in-range nodes are Some, out-of-range None
+        // (not a panic).
+        assert!(report.cpu_series(0).is_some());
+        assert!(report.rx_series(1).is_some());
+        assert!(report.cpu_series(2).is_none());
+        assert!(report.rx_series(99).is_none());
+    }
+
+    #[test]
+    fn report_json_round_trips_exactly() {
+        let mut config = BenchConfig::cluster_a_default(
+            MicroBenchmark::Skew,
+            Interconnect::IpoibQdr,
+            ByteSize::from_mib(256),
+        );
+        config.slaves = 2;
+        config.num_maps = 4;
+        config.num_reduces = 4;
+        let report = run(&config).unwrap();
+        let text = report.to_json().to_pretty();
+        let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json().to_pretty(), text);
+        assert_eq!(back.result.job_time, report.result.job_time);
+        assert_eq!(back.result.counters, report.result.counters);
+        assert_eq!(back.result.tasks.len(), report.result.tasks.len());
+        assert_eq!(
+            back.cpu_series(0).unwrap().samples(),
+            report.cpu_series(0).unwrap().samples()
+        );
+        // CSV row carries the headline numbers.
+        let row = report.csv_row("test");
+        assert!(row.starts_with("test,MR-SKEW,"));
+        assert!(row.contains(",ipoib-qdr,"));
+        assert!(row.contains(",succeeded,"));
+        assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
+        // Panel titles with CSV metacharacters are quoted so the column
+        // count stays fixed for any reader honouring RFC 4180.
+        let quoted = report.csv_row("4 slaves, 1 KiB \"k/v\"");
+        assert!(quoted.starts_with("\"4 slaves, 1 KiB \"\"k/v\"\"\",MR-SKEW,"));
     }
 
     #[test]

@@ -1,5 +1,16 @@
 //! Parameter sweeps: run a family of configurations and tabulate job
 //! execution times, as every figure in the paper does.
+//!
+//! [`Sweep::run_grid`] farms cells out across OS threads. Each cell is
+//! an independent simulation — it builds its own engine, RNG streams,
+//! and monitors from the config seed — so parallel execution produces
+//! **bit-identical** per-cell results to the serial path
+//! ([`Sweep::run_grid_serial`]), in the same row-major order. The
+//! thread count comes from the `MRBENCH_THREADS` environment variable
+//! when set, else from [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use simcore::units::ByteSize;
 use simnet::Interconnect;
@@ -10,6 +21,7 @@ use crate::report::BenchReport;
 use crate::runner::run;
 
 /// One cell of a sweep: a configuration and its result.
+#[derive(Clone, Debug)]
 pub struct SweepCell {
     /// Shuffle size of this cell.
     pub shuffle: ByteSize,
@@ -21,6 +33,7 @@ pub struct SweepCell {
 
 /// A (shuffle size × interconnect) sweep of one micro-benchmark: exactly
 /// the grid each panel of Figs. 2–6 plots.
+#[derive(Clone, Debug)]
 pub struct Sweep {
     /// Row labels.
     pub sizes: Vec<ByteSize>,
@@ -30,10 +43,93 @@ pub struct Sweep {
     pub cells: Vec<SweepCell>,
 }
 
+/// Worker-thread count for [`Sweep::run_grid`]: the `MRBENCH_THREADS`
+/// environment variable when set to a positive integer, else the
+/// machine's available parallelism.
+fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("MRBENCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 impl Sweep {
-    /// Run the grid. `make` builds the config for one (size, interconnect)
-    /// pair, letting callers fix every other parameter.
+    /// Run the grid, farming cells across threads. `make` builds the
+    /// config for one (size, interconnect) pair, letting callers fix
+    /// every other parameter.
+    ///
+    /// Cells land in row-major order and each is bit-identical to what
+    /// [`Sweep::run_grid_serial`] produces: a cell simulation is a pure
+    /// function of its config, sharing no mutable state with its
+    /// neighbours.
     pub fn run_grid(
+        sizes: &[ByteSize],
+        interconnects: &[Interconnect],
+        make: impl Fn(ByteSize, Interconnect) -> BenchConfig + Sync,
+    ) -> Result<Sweep, String> {
+        Sweep::run_grid_with_threads(sizes, interconnects, make, worker_threads())
+    }
+
+    /// [`Sweep::run_grid`] with an explicit worker count.
+    pub fn run_grid_with_threads(
+        sizes: &[ByteSize],
+        interconnects: &[Interconnect],
+        make: impl Fn(ByteSize, Interconnect) -> BenchConfig + Sync,
+        threads: usize,
+    ) -> Result<Sweep, String> {
+        let pairs: Vec<(ByteSize, Interconnect)> = sizes
+            .iter()
+            .flat_map(|&s| interconnects.iter().map(move |&ic| (s, ic)))
+            .collect();
+        let workers = threads.clamp(1, pairs.len().max(1));
+        if workers == 1 {
+            return Sweep::run_grid_serial(sizes, interconnects, make);
+        }
+
+        // Work-stealing over a shared cell index; finished cells are
+        // written back into their row-major slot.
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<BenchReport, String>>>> = {
+            let mut v = Vec::new();
+            v.resize_with(pairs.len(), || None);
+            Mutex::new(v)
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(shuffle, ic)) = pairs.get(i) else {
+                        break;
+                    };
+                    let outcome = run(&make(shuffle, ic));
+                    slots.lock().unwrap()[i] = Some(outcome);
+                });
+            }
+        });
+
+        let slots = slots.into_inner().unwrap();
+        let mut cells = Vec::with_capacity(pairs.len());
+        for ((shuffle, interconnect), slot) in pairs.into_iter().zip(slots) {
+            // Errors surface in row-major order, matching the serial path.
+            let report = slot.expect("every cell is claimed by a worker")?;
+            cells.push(SweepCell {
+                shuffle,
+                interconnect,
+                report,
+            });
+        }
+        Ok(Sweep {
+            sizes: sizes.to_vec(),
+            interconnects: interconnects.to_vec(),
+            cells,
+        })
+    }
+
+    /// Run the grid on the calling thread, one cell at a time. The
+    /// reference semantics for [`Sweep::run_grid`].
+    pub fn run_grid_serial(
         sizes: &[ByteSize],
         interconnects: &[Interconnect],
         make: impl Fn(ByteSize, Interconnect) -> BenchConfig,
@@ -67,16 +163,30 @@ impl Sweep {
         })
     }
 
-    /// Job time (seconds) for a cell.
+    /// The cell at (`shuffle`, `ic`), located by row-major index — O(grid
+    /// edge), not O(cells), so `table()` stays linear in the cell count.
+    pub fn cell(&self, shuffle: ByteSize, ic: Interconnect) -> Option<&SweepCell> {
+        let row = self.sizes.iter().position(|&s| s == shuffle)?;
+        let col = self.interconnects.iter().position(|&i| i == ic)?;
+        self.cells.get(row * self.interconnects.len() + col)
+    }
+
+    /// Job time (seconds) for a cell. `None` for unknown labels and for
+    /// failed/aborted cells (whose job time measures the abort, not the
+    /// benchmark).
     pub fn time(&self, shuffle: ByteSize, ic: Interconnect) -> Option<f64> {
-        self.cells
-            .iter()
-            .find(|c| c.shuffle == shuffle && c.interconnect == ic)
-            .map(|c| c.report.job_time_secs())
+        let cell = self.cell(shuffle, ic)?;
+        if !cell.report.result.succeeded() {
+            return None;
+        }
+        let t = cell.report.job_time_secs();
+        (t > 0.0).then_some(t)
     }
 
     /// Relative improvement of `fast` over `slow` at `shuffle`, in
-    /// percent (positive when `fast` wins).
+    /// percent (positive when `fast` wins). `None` when either cell
+    /// failed or has no meaningful job time, so a failed slow cell can
+    /// never divide by zero.
     pub fn improvement_pct(
         &self,
         shuffle: ByteSize,
@@ -152,5 +262,65 @@ mod tests {
         let table = sweep.table("test table");
         assert!(table.contains("1GigE"));
         assert!(table.contains("128.00MiB"));
+    }
+
+    #[test]
+    fn parallel_grid_is_bit_identical_to_serial() {
+        let sizes = [ByteSize::from_mib(64), ByteSize::from_mib(128)];
+        let ics = [Interconnect::GigE1, Interconnect::IpoibQdr];
+        let serial = Sweep::run_grid_serial(&sizes, &ics, tiny).unwrap();
+        let parallel = Sweep::run_grid_with_threads(&sizes, &ics, tiny, 4).unwrap();
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            // Same row-major cell order...
+            assert_eq!(s.shuffle, p.shuffle);
+            assert_eq!(s.interconnect, p.interconnect);
+            // ...and bit-identical results: the JSON encoding is exact
+            // (nanosecond times, shortest-round-trip floats), so equal
+            // text means equal results down to the last sample.
+            assert_eq!(
+                s.report.result.to_json().to_compact(),
+                p.report.result.to_json().to_compact()
+            );
+        }
+    }
+
+    #[test]
+    fn failed_cells_yield_none_not_division_by_zero() {
+        let sizes = [ByteSize::from_mib(64)];
+        let ics = [Interconnect::GigE1, Interconnect::IpoibQdr];
+        let sweep = Sweep::run_grid_serial(&sizes, &ics, |shuffle, ic| {
+            let mut c = tiny(shuffle, ic);
+            if ic == Interconnect::GigE1 {
+                // Every attempt dies: the 1GigE cell aborts.
+                c.faults.map_failure_prob = 1.0;
+                c.max_attempts = 2;
+            }
+            c
+        })
+        .unwrap();
+        assert!(!sweep.cells[0].report.result.succeeded());
+        assert_eq!(sweep.time(sizes[0], Interconnect::GigE1), None);
+        assert!(sweep.time(sizes[0], Interconnect::IpoibQdr).is_some());
+        // The failed cell is the denominator: must be None, not inf/NaN.
+        assert_eq!(
+            sweep.improvement_pct(sizes[0], Interconnect::GigE1, Interconnect::IpoibQdr),
+            None
+        );
+        // Failed cells render as "-" in the table.
+        assert!(sweep.table("t").contains('-'));
+        // Unknown labels are None, not a panic.
+        assert_eq!(
+            sweep.time(ByteSize::from_mib(999), Interconnect::GigE1),
+            None
+        );
+    }
+
+    #[test]
+    fn report_types_are_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<BenchConfig>();
+        check::<BenchReport>();
+        check::<Sweep>();
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use simcore::json::Json;
+
 /// Aggregated counters for one job run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Counters {
@@ -58,10 +60,59 @@ pub struct Counters {
     pub reduces_completed: u64,
 }
 
+/// Single-source field list for the JSON codec: every counter appears
+/// once here, tagged with its type.
+macro_rules! for_each_counter {
+    ($m:ident!($self:expr, $j:expr)) => {
+        $m!(
+            $self, $j;
+            u64: map_input_records, map_output_records, map_output_bytes,
+                map_output_materialized_bytes, spilled_records_map,
+                spilled_records_reduce, shuffled_fetches, remote_shuffle_bytes,
+                local_shuffle_bytes, reduce_input_records, disk_write_bytes,
+                disk_read_bytes, failed_task_attempts, failed_fetches,
+                speculative_launches, speculative_wins, killed_attempts,
+                blacklisted_nodes, maps_rerun_after_node_loss, maps_completed,
+                reduces_completed;
+            f64: cpu_core_seconds, protocol_cpu_seconds
+        )
+    };
+}
+
+macro_rules! counters_to_json {
+    ($self:expr, $j:expr; u64: $($u:ident),*; f64: $($f:ident),*) => {{
+        $( $j.push((stringify!($u).to_string(), Json::from($self.$u))); )*
+        $( $j.push((stringify!($f).to_string(), Json::from($self.$f))); )*
+    }};
+}
+
+macro_rules! counters_from_json {
+    ($self:expr, $j:expr; u64: $($u:ident),*; f64: $($f:ident),*) => {{
+        $( $self.$u = $j.field_u64(stringify!($u))?; )*
+        $( $self.$f = $j.field_f64(stringify!($f))?; )*
+    }};
+}
+
 impl Counters {
     /// Total shuffle volume (remote + local).
     pub fn total_shuffle_bytes(&self) -> u64 {
         self.remote_shuffle_bytes + self.local_shuffle_bytes
+    }
+
+    /// Serialize to a flat JSON object, one member per counter.
+    pub fn to_json(&self) -> Json {
+        let mut members = Vec::new();
+        for_each_counter!(counters_to_json!(self, members));
+        Json::Obj(members)
+    }
+
+    /// Rebuild from the [`Counters::to_json`] encoding. Every counter
+    /// must be present — a missing field is an error, not a default, so
+    /// schema drift is caught loudly.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let mut c = Counters::default();
+        for_each_counter!(counters_from_json!(c, json));
+        Ok(c)
     }
 }
 
@@ -142,6 +193,26 @@ mod tests {
             ..Counters::default()
         };
         assert_eq!(c.total_shuffle_bytes(), 120);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let c = Counters {
+            map_input_records: 16,
+            map_output_records: 1 << 40,
+            remote_shuffle_bytes: u64::MAX,
+            cpu_core_seconds: 111.8251,
+            protocol_cpu_seconds: 1.0 / 3.0,
+            maps_completed: 16,
+            reduces_completed: 8,
+            ..Counters::default()
+        };
+        let text = c.to_json().to_compact();
+        let back = Counters::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, c);
+        // A missing counter is an error, not a silent default.
+        let err = Counters::from_json(&Json::parse("{}").unwrap()).unwrap_err();
+        assert!(err.contains("map_input_records"), "{err}");
     }
 
     #[test]

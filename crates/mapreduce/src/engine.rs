@@ -764,12 +764,21 @@ impl<'f> Engine<'f> {
         counts
     }
 
-    fn finish(self) -> JobResult {
+    fn finish(mut self) -> JobResult {
         let overhead = SimDuration::from_secs_f64(self.costs.job_overhead_s);
         let end = match &self.failed {
             Some(d) => d.at + overhead,
             None => self.last_reduce_finish + overhead,
         };
+
+        // Emit the final partial monitoring window so bytes and busy
+        // core-seconds after the last whole-interval tick are not lost.
+        // Flushed at the last simulated instant (`self.clock`), not at
+        // `end`: the job-overhead pad moves no data.
+        self.cluster
+            .cpu_monitor
+            .flush(self.clock, &mut self.cluster.cpu);
+        self.net_monitor.flush(self.clock, &mut self.net);
 
         let mut tasks = Vec::new();
         let mut map_phase_end = SimTime::ZERO;

@@ -12,6 +12,8 @@
 //! runs with the same `JobSpec` + `FaultPlan` produce bit-identical
 //! results, and an empty plan leaves the simulation untouched.
 
+use simcore::jobj;
+use simcore::json::Json;
 use simcore::rng::{SeedFactory, SplitMix64};
 use simcore::time::SimTime;
 
@@ -115,6 +117,70 @@ impl FaultPlan {
         }
         Ok(())
     }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Json {
+        jobj! {
+            "map_failure_prob": self.map_failure_prob,
+            "reduce_failure_prob": self.reduce_failure_prob,
+            "fetch_failure_prob": self.fetch_failure_prob,
+            "node_crashes": Json::Arr(
+                self.node_crashes
+                    .iter()
+                    .map(|c| jobj! { "node": c.node, "at_secs": c.at_secs })
+                    .collect(),
+            ),
+            "node_slowdowns": Json::Arr(
+                self.node_slowdowns
+                    .iter()
+                    .map(|s| jobj! { "node": s.node, "factor": s.factor })
+                    .collect(),
+            ),
+            "fail_first_attempt_maps": Json::Arr(
+                self.fail_first_attempt_maps.iter().map(|&i| Json::from(i)).collect(),
+            ),
+            "fail_first_attempt_reduces": Json::Arr(
+                self.fail_first_attempt_reduces.iter().map(|&i| Json::from(i)).collect(),
+            ),
+        }
+    }
+
+    /// Rebuild from the [`FaultPlan::to_json`] encoding.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let task_list = |key: &str| -> Result<Vec<u32>, String> {
+            json.field_arr(key)?
+                .iter()
+                .map(|i| i.as_u32().ok_or_else(|| format!("bad index in '{key}'")))
+                .collect()
+        };
+        Ok(FaultPlan {
+            map_failure_prob: json.field_f64("map_failure_prob")?,
+            reduce_failure_prob: json.field_f64("reduce_failure_prob")?,
+            fetch_failure_prob: json.field_f64("fetch_failure_prob")?,
+            node_crashes: json
+                .field_arr("node_crashes")?
+                .iter()
+                .map(|c| {
+                    Ok(NodeCrash {
+                        node: c.field_usize("node")?,
+                        at_secs: c.field_f64("at_secs")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            node_slowdowns: json
+                .field_arr("node_slowdowns")?
+                .iter()
+                .map(|s| {
+                    Ok(NodeSlowdown {
+                        node: s.field_usize("node")?,
+                        factor: s.field_f64("factor")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            fail_first_attempt_maps: task_list("fail_first_attempt_maps")?,
+            fail_first_attempt_reduces: task_list("fail_first_attempt_reduces")?,
+        })
+    }
 }
 
 /// Draws every fault decision for one job run. Decisions are stateless
@@ -203,6 +269,25 @@ pub enum JobOutcome {
     Failed,
 }
 
+impl JobOutcome {
+    /// Stable token used in JSON artifacts and CSV rows.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobOutcome::Succeeded => "succeeded",
+            JobOutcome::Failed => "failed",
+        }
+    }
+
+    /// Inverse of [`JobOutcome::as_str`].
+    pub fn from_str_token(s: &str) -> Result<Self, String> {
+        match s {
+            "succeeded" => Ok(JobOutcome::Succeeded),
+            "failed" => Ok(JobOutcome::Failed),
+            other => Err(format!("unknown job outcome '{other}'")),
+        }
+    }
+}
+
 /// Why a job failed.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FailureDiag {
@@ -213,6 +298,34 @@ pub struct FailureDiag {
     pub task: Option<(bool, u32)>,
     /// Simulated time of the abort.
     pub at: SimTime,
+}
+
+impl FailureDiag {
+    /// Serialize to JSON. The triggering task is encoded as
+    /// `{"map": bool, "index": n}` or `null`.
+    pub fn to_json(&self) -> Json {
+        jobj! {
+            "reason": self.reason.as_str(),
+            "task": match self.task {
+                Some((is_map, index)) => jobj! { "map": is_map, "index": index },
+                None => Json::Null,
+            },
+            "at_ns": self.at.as_nanos(),
+        }
+    }
+
+    /// Rebuild from the [`FailureDiag::to_json`] encoding.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let task = match json.req("task")? {
+            Json::Null => None,
+            t => Some((t.field_bool("map")?, t.field_u32("index")?)),
+        };
+        Ok(FailureDiag {
+            reason: json.field_str("reason")?.to_owned(),
+            task,
+            at: SimTime::from_nanos(json.field_u64("at_ns")?),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,586 @@
+//! Minimal JSON value model, writer, and parser.
+//!
+//! The workspace keeps its dependency set to the approved list, so the
+//! structured-results layer (`BENCH_*.json` artifacts, round-trippable
+//! sweep exports) is built on this hand-rolled module instead of serde.
+//! It supports exactly what the benchmark artifacts need:
+//!
+//! * a [`Json`] tree with order-preserving objects,
+//! * a compact and a pretty writer,
+//! * a strict recursive-descent parser ([`Json::parse`]),
+//! * typed accessors that make `from_json` implementations short.
+//!
+//! Integers are kept distinct from floats ([`Json::Int`] vs
+//! [`Json::Num`]) so `u64` quantities (nanosecond timestamps, byte
+//! counts, seeds) round-trip exactly.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer written without a decimal point. `i128` covers the
+    /// full `u64` and `i64` ranges losslessly.
+    Int(i128),
+    /// A non-integer number. Non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member by key (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object member by key, with a descriptive error for `from_json`
+    /// implementations.
+    pub fn req(&self, key: &str) -> Result<&Json, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing JSON field '{key}'"))
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (accepts both `Int` and `Num`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an in-range `u64` (must be an `Int`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an in-range `u32`.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|v| u32::try_from(v).ok())
+    }
+
+    /// The value as a `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Typed field accessors that fail with the field name, for
+    /// `from_json` implementations.
+    pub fn field_u64(&self, key: &str) -> Result<u64, String> {
+        self.req(key)?
+            .as_u64()
+            .ok_or_else(|| format!("field '{key}' is not a u64"))
+    }
+
+    /// `u32` field.
+    pub fn field_u32(&self, key: &str) -> Result<u32, String> {
+        self.req(key)?
+            .as_u32()
+            .ok_or_else(|| format!("field '{key}' is not a u32"))
+    }
+
+    /// `usize` field.
+    pub fn field_usize(&self, key: &str) -> Result<usize, String> {
+        self.req(key)?
+            .as_usize()
+            .ok_or_else(|| format!("field '{key}' is not a usize"))
+    }
+
+    /// `f64` field (integers accepted).
+    pub fn field_f64(&self, key: &str) -> Result<f64, String> {
+        self.req(key)?
+            .as_f64()
+            .ok_or_else(|| format!("field '{key}' is not a number"))
+    }
+
+    /// `bool` field.
+    pub fn field_bool(&self, key: &str) -> Result<bool, String> {
+        self.req(key)?
+            .as_bool()
+            .ok_or_else(|| format!("field '{key}' is not a bool"))
+    }
+
+    /// `&str` field.
+    pub fn field_str<'a>(&'a self, key: &str) -> Result<&'a str, String> {
+        self.req(key)?
+            .as_str()
+            .ok_or_else(|| format!("field '{key}' is not a string"))
+    }
+
+    /// Array field.
+    pub fn field_arr<'a>(&'a self, key: &str) -> Result<&'a [Json], String> {
+        self.req(key)?
+            .as_arr()
+            .ok_or_else(|| format!("field '{key}' is not an array"))
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation and a trailing
+    /// newline, for files humans read.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // `{}` on f64 is the shortest representation that
+                    // parses back to the same bits, so floats round-trip.
+                    let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1)
+            }),
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+
+    /// Parse a JSON document. The whole input must be one value plus
+    /// optional surrounding whitespace.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected '{lit}' at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        // Surrogate pairs are not needed by our writers;
+                        // reject them rather than mis-decode.
+                        let c = char::from_u32(code).ok_or("invalid \\u escape")?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always on a char boundary).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected number at byte {start}"));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    } else {
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|e| format!("bad integer '{text}': {e}"))
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(i128::from(v))
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(i128::from(v))
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(i128::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i128)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// Build a [`Json::Obj`] with literal keys:
+/// `jobj! { "a": 1u64, "b": "x" }`. Values go through `Json::from`.
+#[macro_export]
+macro_rules! jobj {
+    ($($k:literal : $v:expr),* $(,)?) => {
+        $crate::json::Json::Obj(vec![
+            $(($k.to_string(), $crate::json::Json::from($v))),*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-7", "123456789012345678901"] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_compact(), text);
+        }
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Num(1.5));
+        assert_eq!(Json::parse("-2e3").unwrap(), Json::Num(-2000.0));
+    }
+
+    #[test]
+    fn u64_extremes_round_trip_exactly() {
+        let j = Json::from(u64::MAX);
+        let back = Json::parse(&j.to_compact()).unwrap();
+        assert_eq!(back.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1, 1.0 / 3.0, 6.02e23, -1e-300, 111.8251] {
+            let text = Json::Num(x).to_compact();
+            match Json::parse(&text).unwrap() {
+                Json::Num(y) => assert_eq!(x.to_bits(), y.to_bits(), "{text}"),
+                Json::Int(i) => assert_eq!(x, i as f64),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a \"quoted\" \\ line\nwith\ttabs and unicode: åß∂";
+        let j = Json::Str(s.to_owned());
+        assert_eq!(Json::parse(&j.to_compact()).unwrap().as_str(), Some(s));
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e5\"").unwrap().as_str(),
+            Some("Aå")
+        );
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = jobj! {
+            "name": "fig2",
+            "ok": true,
+            "cells": Json::Arr(vec![
+                jobj! { "t": 1u64, "x": 1.25 },
+                jobj! { "t": 2u64, "x": Json::Null },
+            ]),
+        };
+        let compact = Json::parse(&v.to_compact()).unwrap();
+        let pretty = Json::parse(&v.to_pretty()).unwrap();
+        assert_eq!(compact, v);
+        assert_eq!(pretty, v);
+        assert_eq!(v.get("name").unwrap().as_str(), Some("fig2"));
+        assert_eq!(v.field_bool("ok"), Ok(true));
+        let cells = v.field_arr("cells").unwrap();
+        assert_eq!(cells[0].field_u64("t"), Ok(1));
+        assert!(v.field_u64("missing").is_err());
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let text = r#"{"z": 1, "a": 2, "m": 3}"#;
+        let v = Json::parse(text).unwrap();
+        match &v {
+            Json::Obj(members) => {
+                let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["z", "a", "m"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("{1: 2}").is_err());
+        assert!(Json::parse("nulL").is_err());
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = Json::parse(r#"{"n": -1, "s": "x"}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), None, "negative is not u64");
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        assert_eq!(v.get("nope"), None);
+    }
+}

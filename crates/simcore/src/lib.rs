@@ -11,6 +11,8 @@
 //! * [`units`] — byte sizes and data rates with Hadoop's unit conventions.
 //! * [`stats`] — online statistics, histograms, time series, and rate
 //!   integration for resource-utilization reporting.
+//! * [`json`] — a dependency-free JSON value model backing the
+//!   machine-readable benchmark artifacts.
 //!
 //! Everything in this crate is deterministic: no wall-clock, no OS entropy,
 //! no thread scheduling effects. A simulation driven from these primitives
@@ -20,12 +22,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
 
 pub use event::{EventId, EventQueue};
+pub use json::Json;
 pub use rng::{JavaRandom, SeedFactory, SplitMix64, Xoshiro256pp};
 pub use stats::{Histogram, OnlineStats, RateIntegrator, Sample, TimeSeries};
 pub use time::{SimDuration, SimTime};

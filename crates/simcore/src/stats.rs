@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use crate::json::Json;
 use crate::time::SimTime;
 
 /// Welford online mean/variance plus min/max.
@@ -246,6 +247,32 @@ impl TimeSeries {
             Some(self.samples.iter().map(|s| s.value).sum::<f64>() / self.samples.len() as f64)
         }
     }
+
+    /// Serialize as an array of `[time_ns, value]` pairs.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.samples
+                .iter()
+                .map(|s| Json::Arr(vec![Json::from(s.time.as_nanos()), Json::from(s.value)]))
+                .collect(),
+        )
+    }
+
+    /// Rebuild from the [`TimeSeries::to_json`] encoding.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let items = json.as_arr().ok_or("time series must be an array")?;
+        let mut ts = TimeSeries::new();
+        for item in items {
+            let pair = item.as_arr().ok_or("time series sample must be a pair")?;
+            if pair.len() != 2 {
+                return Err("time series sample must be a [time_ns, value] pair".into());
+            }
+            let time = pair[0].as_u64().ok_or("sample time must be a u64")?;
+            let value = pair[1].as_f64().ok_or("sample value must be a number")?;
+            ts.push(SimTime::from_nanos(time), value);
+        }
+        Ok(ts)
+    }
 }
 
 /// Integrates a piecewise-constant rate over simulated time; used to turn
@@ -364,6 +391,19 @@ mod tests {
         assert_eq!(ts.peak(), Some(30.0));
         assert_eq!(ts.mean(), Some(20.0));
         assert_eq!(ts.samples()[1].value, 30.0);
+    }
+
+    #[test]
+    fn time_series_json_round_trip() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_nanos(1_500_000_000), 111.8251);
+        ts.push(SimTime::from_secs(2), 0.0);
+        ts.push(SimTime::from_nanos(u64::MAX), 1.0 / 3.0);
+        let text = ts.to_json().to_compact();
+        let back = TimeSeries::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.samples(), ts.samples());
+        assert!(TimeSeries::from_json(&Json::parse("[[1]]").unwrap()).is_err());
+        assert!(TimeSeries::from_json(&Json::parse("{}").unwrap()).is_err());
     }
 
     #[test]

@@ -93,7 +93,7 @@ fn resource_monitors_cover_the_whole_job() {
     // includes the job cleanup overhead (~2.5s).
     let active_secs = report.job_time_secs() - 6.0;
     for node in 0..2 {
-        let samples = report.cpu_series(node).len() as f64;
+        let samples = report.cpu_series(node).expect("node in range").len() as f64;
         assert!(
             samples >= active_secs,
             "node {node}: {samples} samples for {active_secs:.1}s of task activity"
