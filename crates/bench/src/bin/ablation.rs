@@ -47,8 +47,17 @@ impl Variant {
     }
 }
 
-fn run_variant(variant: Variant, ic: Interconnect, shuffle: ByteSize) -> BenchReport {
-    let mut config = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
+fn run_variant(
+    harness: &Harness,
+    variant: Variant,
+    ic: Interconnect,
+    shuffle: ByteSize,
+) -> BenchReport {
+    let mut config = harness.prep(BenchConfig::cluster_a_default(
+        MicroBenchmark::Avg,
+        ic,
+        shuffle,
+    ));
     let mut spec = config.job_spec();
     match variant {
         Variant::DefaultSortMb => spec.conf.io_sort_mb = ByteSize::from_mib(100),
@@ -78,6 +87,9 @@ fn run_variant(variant: Variant, ic: Interconnect, shuffle: ByteSize) -> BenchRe
         }
         _ => {}
     }
+    if config.trace {
+        engine.enable_tracing();
+    }
     let result = engine.run();
     BenchReport { config, result }
 }
@@ -96,8 +108,8 @@ fn main() {
     );
     let mut baseline_gain = None;
     for variant in Variant::ALL {
-        let slow_report = run_variant(variant, Interconnect::GigE1, shuffle);
-        let fast_report = run_variant(variant, Interconnect::IpoibQdr, shuffle);
+        let slow_report = run_variant(&harness, variant, Interconnect::GigE1, shuffle);
+        let fast_report = run_variant(&harness, variant, Interconnect::IpoibQdr, shuffle);
         harness.record_report(&format!("{} — 1GigE", variant.label()), &slow_report);
         harness.record_report(&format!("{} — IPoIB QDR", variant.label()), &fast_report);
         let slow = slow_report.job_time_secs();

@@ -47,7 +47,7 @@ fn main() {
             let mut c = base(b, shuffle);
             c.faults.map_failure_prob = p;
             c.faults.reduce_failure_prob = p;
-            let r = run(&c).expect("valid config");
+            let r = run(&harness.prep(c)).expect("valid config");
             harness.record_report(&format!("fault sweep p={p} {b}"), &r);
             if r.result.succeeded() {
                 times[bi][pi] = r.job_time_secs();
@@ -100,7 +100,7 @@ fn main() {
     // the node's map outputs are committed and mid-shuffle, so the loss
     // forces map re-execution. The fraction (rather than a fixed t)
     // keeps the crash mid-job under --quick too.
-    let clean = run(&base(MicroBenchmark::Avg, shuffle)).expect("valid config");
+    let clean = run(&harness.prep(base(MicroBenchmark::Avg, shuffle))).expect("valid config");
     // Quick runs are shuffle-dominated with little tail; crash mid-shuffle
     // there so the lost node still holds work.
     let crash_frac = if harness.quick { 0.6 } else { 0.9 };
@@ -111,7 +111,7 @@ fn main() {
         node: 1,
         at_secs: crash_at,
     });
-    let crashed = run(&c).expect("valid config");
+    let crashed = run(&harness.prep(c)).expect("valid config");
     harness.record_report("node crash — clean baseline", &clean);
     harness.record_report("node crash — slave 1 lost mid-job", &crashed);
     println!("  clean   {:>8.1} s", clean.job_time_secs());
@@ -137,7 +137,7 @@ fn main() {
             factor: 3.0,
         });
         c.speculative = speculative;
-        run(&c).expect("valid config")
+        run(&harness.prep(c)).expect("valid config")
     };
     let off = straggler(false);
     let on = straggler(true);

@@ -69,7 +69,10 @@ fn main() {
     // Sect. 5.2: "increasing cluster size and concurrency significantly
     // benefits average and random data distribution patterns" — compare
     // against the Fig. 2 configuration at the same shuffle size.
-    let fig2_avg = Sweep::cluster_a(MicroBenchmark::Avg, &[at], &[Interconnect::IpoibQdr]).unwrap();
+    let fig2_avg = Sweep::run_grid(&[at], &[Interconnect::IpoibQdr], |s, ic| {
+        harness.prep(BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, s))
+    })
+    .unwrap();
     let t_fig2 = fig2_avg.time(at, Interconnect::IpoibQdr).unwrap();
     let t_fig3 = avg.time(at, Interconnect::IpoibQdr).unwrap();
     println!(

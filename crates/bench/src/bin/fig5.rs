@@ -33,7 +33,7 @@ fn main() {
         let label = format!("{maps}M-{reduces}R");
         let title = format!("Fig 5 MR-AVG with {label}");
         let sweep = Sweep::run_grid(&sizes, &networks, |shuffle, ic| {
-            config(maps, reduces, shuffle, ic)
+            harness.prep(config(maps, reduces, shuffle, ic))
         })
         .expect("valid config");
         print!("{}", sweep.table(&title));

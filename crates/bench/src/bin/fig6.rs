@@ -26,7 +26,7 @@ fn main() {
         let sweep = Sweep::run_grid(&sizes, &CLUSTER_A_NETWORKS, |shuffle, ic| {
             let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Rand, ic, shuffle);
             c.data_type = dt;
-            c
+            harness.prep(c)
         })
         .expect("valid config");
         print!("{}", sweep.table(&title));

@@ -43,7 +43,11 @@ fn main() {
     let shuffle = harness.shuffle(ByteSize::from_gib(16));
     let mut reports = Vec::new();
     for ic in CLUSTER_A_NETWORKS {
-        let config = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, shuffle);
+        let config = harness.prep(BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            ic,
+            shuffle,
+        ));
         let report = run(&config).expect("valid config");
         harness.record_report(
             &format!("Fig 7 MR-AVG utilization — {}", ic.label()),

@@ -26,7 +26,7 @@ fn main() {
     for (slaves, panel) in [(8usize, "(a)"), (16, "(b)")] {
         let title = format!("Fig 8{panel} MR-AVG with {slaves} slave nodes");
         let sweep = Sweep::run_grid(&sizes, &networks, |shuffle, ic| {
-            BenchConfig::cluster_b_case_study(ic, shuffle, slaves)
+            harness.prep(BenchConfig::cluster_b_case_study(ic, shuffle, slaves))
         })
         .expect("valid config");
         print!("{}", sweep.table(&title));

@@ -30,9 +30,15 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
 
     // Fig 2 (MRv1, Cluster A) at 16 GB.
-    let avg = Sweep::cluster_a(MicroBenchmark::Avg, &[gb16], &a_nets).unwrap();
-    let rand = Sweep::cluster_a(MicroBenchmark::Rand, &[gb16], &a_nets).unwrap();
-    let skew = Sweep::cluster_a(MicroBenchmark::Skew, &[gb16], &a_nets).unwrap();
+    let cluster_a = |bench| {
+        Sweep::run_grid(&[gb16], &a_nets, |s, ic| {
+            harness.prep(BenchConfig::cluster_a_default(bench, ic, s))
+        })
+        .unwrap()
+    };
+    let avg = cluster_a(MicroBenchmark::Avg);
+    let rand = cluster_a(MicroBenchmark::Rand);
+    let skew = cluster_a(MicroBenchmark::Skew);
     harness.record_sweep("Fig 2 MR-AVG (MRv1, Cluster A)", &avg);
     harness.record_sweep("Fig 2 MR-RAND (MRv1, Cluster A)", &rand);
     harness.record_sweep("Fig 2 MR-SKEW (MRv1, Cluster A)", &skew);
@@ -83,11 +89,11 @@ fn main() {
 
     // Fig 3 (YARN).
     let yavg = Sweep::run_grid(&[gb16], &a_nets, |s, ic| {
-        BenchConfig::yarn_default(MicroBenchmark::Avg, ic, s)
+        harness.prep(BenchConfig::yarn_default(MicroBenchmark::Avg, ic, s))
     })
     .unwrap();
     let yskew = Sweep::run_grid(&[gb16], &[Interconnect::IpoibQdr], |s, ic| {
-        BenchConfig::yarn_default(MicroBenchmark::Skew, ic, s)
+        harness.prep(BenchConfig::yarn_default(MicroBenchmark::Skew, ic, s))
     })
     .unwrap();
     harness.record_sweep("Fig 3 MR-AVG (YARN, Cluster A)", &yavg);
@@ -125,7 +131,7 @@ fn main() {
         let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, s);
         c.key_size = 100;
         c.value_size = 100;
-        c
+        harness.prep(c)
     })
     .unwrap();
     harness.record_sweep("Fig 4 MR-AVG with 100 B k/v", &small);
@@ -158,11 +164,11 @@ fn main() {
             "Fig 7(b)",
         ),
     ] {
-        let report = run(&BenchConfig::cluster_a_default(
+        let report = run(&harness.prep(BenchConfig::cluster_a_default(
             MicroBenchmark::Avg,
             ic,
             gb16,
-        ))
+        )))
         .unwrap();
         harness.record_report(&format!("Fig 7 utilization — {}", ic.label()), &report);
         rows.push(Row {
@@ -187,7 +193,7 @@ fn main() {
         let s = Sweep::run_grid(
             &[gb32],
             &[Interconnect::IpoibFdr, Interconnect::RdmaFdr],
-            |sz, ic| BenchConfig::cluster_b_case_study(ic, sz, slaves),
+            |sz, ic| harness.prep(BenchConfig::cluster_b_case_study(ic, sz, slaves)),
         )
         .unwrap();
         harness.record_sweep(&format!("Fig 8 MR-AVG, {slaves} slaves (Cluster B)"), &s);

@@ -35,6 +35,10 @@ use mrbench::{ArtifactPaths, Artifacts, BenchConfig, BenchReport, Sweep};
 pub struct Harness {
     artifacts: Artifacts,
     paths: ArtifactPaths,
+    /// Chrome trace-event output requested via `--trace [PATH]`. When
+    /// set, every run executes with phase tracing on and [`Harness::finish`]
+    /// writes one combined trace file (one process per recorded run).
+    pub trace: Option<PathBuf>,
     /// CI smoke mode: tiny shuffle sizes, paper-claim checks skipped.
     pub quick: bool,
 }
@@ -48,7 +52,9 @@ impl Harness {
             Ok(h) => h,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: {name} [--quick] [--json [PATH]] [--csv [PATH]]");
+                eprintln!(
+                    "usage: {name} [--quick] [--json [PATH]] [--csv [PATH]] [--trace [PATH]]"
+                );
                 std::process::exit(2);
             }
         }
@@ -57,23 +63,25 @@ impl Harness {
     /// Flag parsing behind [`Harness::from_env`], separated for tests.
     pub fn parse(name: &str, args: &[String]) -> Result<Harness, String> {
         let mut paths = ArtifactPaths::default();
+        let mut trace = None;
         let mut quick = false;
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => quick = true,
-                "--json" | "--csv" => {
+                "--json" | "--csv" | "--trace" => {
                     let kind = &arg[2..];
+                    // A following `-`-prefixed token (single- or
+                    // double-dash) is the next flag, never a path.
                     let path = match it.peek() {
-                        Some(v) if !v.starts_with("--") => {
-                            PathBuf::from(it.next().expect("peeked"))
-                        }
+                        Some(v) if !v.starts_with('-') => PathBuf::from(it.next().expect("peeked")),
+                        _ if kind == "trace" => PathBuf::from(format!("BENCH_{name}_trace.json")),
                         _ => ArtifactPaths::default_for(name, kind),
                     };
-                    if kind == "json" {
-                        paths.json = Some(path);
-                    } else {
-                        paths.csv = Some(path);
+                    match kind {
+                        "json" => paths.json = Some(path),
+                        "csv" => paths.csv = Some(path),
+                        _ => trace = Some(path),
                     }
                 }
                 other => return Err(format!("unknown argument '{other}'")),
@@ -82,8 +90,17 @@ impl Harness {
         Ok(Harness {
             artifacts: Artifacts::new(name),
             paths,
+            trace,
             quick,
         })
+    }
+
+    /// Apply the harness's run-wide switches to a config — currently
+    /// just phase tracing. Figure binaries pass every config they run
+    /// through this (panels built via [`run_panel`] get it automatically).
+    pub fn prep(&self, mut config: BenchConfig) -> BenchConfig {
+        config.trace = self.trace.is_some();
+        config
     }
 
     /// The figure's shuffle-size axis: `full` normally, [`quick_sizes`]
@@ -124,15 +141,18 @@ impl Harness {
 
     /// Write the requested artifact files, if any. Call last in `main`.
     pub fn finish(self) {
-        if self.paths.is_empty() {
-            return;
-        }
         if let Err(e) = self
             .artifacts
             .write(self.paths.json.as_deref(), self.paths.csv.as_deref())
         {
             eprintln!("error: {e}");
             std::process::exit(1);
+        }
+        if let Some(path) = &self.trace {
+            if let Err(e) = self.artifacts.write_chrome_trace(path) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -164,7 +184,13 @@ pub fn run_panel(
     networks: &[Interconnect],
     make: impl Fn(ByteSize, Interconnect) -> BenchConfig + Sync,
 ) -> Sweep {
-    let sweep = Sweep::run_grid(sizes, networks, make).expect("valid panel config");
+    let traced = harness.trace.is_some();
+    let sweep = Sweep::run_grid(sizes, networks, |s, ic| {
+        let mut c = make(s, ic);
+        c.trace = traced;
+        c
+    })
+    .expect("valid panel config");
     print!("{}", sweep.table(title));
     println!();
     harness.record_sweep(title, &sweep);
@@ -262,6 +288,33 @@ mod tests {
         assert_eq!(h.paths.csv, Some(PathBuf::from("BENCH_fig2.csv")));
 
         assert!(Harness::parse("fig2", &s(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn trace_flag_parses_and_preps_configs() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let h = Harness::parse("fig2", &s(&[])).unwrap();
+        assert!(h.trace.is_none());
+
+        // Bare flag: conventional default path; a following flag (even
+        // single-dash) is never swallowed as the path.
+        let h = Harness::parse("fig2", &s(&["--trace", "--quick"])).unwrap();
+        assert_eq!(h.trace, Some(PathBuf::from("BENCH_fig2_trace.json")));
+        assert!(h.quick);
+
+        let h = Harness::parse("fig2", &s(&["--trace", "t.json", "--json"])).unwrap();
+        assert_eq!(h.trace, Some(PathBuf::from("t.json")));
+        assert_eq!(h.paths.json, Some(PathBuf::from("BENCH_fig2.json")));
+
+        // prep() turns tracing on exactly when --trace was given.
+        let config = mrbench::BenchConfig::cluster_a_default(
+            mrbench::MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_mib(64),
+        );
+        assert!(h.prep(config.clone()).trace);
+        let h = Harness::parse("fig2", &s(&[])).unwrap();
+        assert!(!h.prep(config).trace);
     }
 
     #[test]

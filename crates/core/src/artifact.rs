@@ -152,6 +152,60 @@ impl Artifacts {
         })
     }
 
+    /// True when at least one recorded run carries a span stream (i.e.
+    /// it ran with tracing enabled).
+    pub fn has_traces(&self) -> bool {
+        self.panels.iter().any(|p| match p {
+            Panel::Sweep { sweep, .. } => {
+                sweep.cells.iter().any(|c| c.report.result.trace.is_some())
+            }
+            Panel::Report { report, .. } => report.result.trace.is_some(),
+        })
+    }
+
+    /// Combine every traced run into one Chrome trace-event document:
+    /// run *i* becomes trace-event process *i*, named after its panel
+    /// (plus grid coordinates for sweep cells), with one thread per
+    /// `node/slot` lane. The top-level `"runs"` array records the labels
+    /// in pid order — tooling can validate against it; viewers ignore it.
+    pub fn to_chrome_trace(&self) -> Json {
+        let mut events: Vec<Json> = Vec::new();
+        let mut runs: Vec<Json> = Vec::new();
+        for panel in &self.panels {
+            match panel {
+                Panel::Sweep { title, sweep } => {
+                    for c in &sweep.cells {
+                        if let Some(trace) = &c.report.result.trace {
+                            let label = format!("{title} [{} over {}]", c.shuffle, c.interconnect);
+                            trace.chrome_events(runs.len() as u64, &label, &mut events);
+                            runs.push(Json::from(label));
+                        }
+                    }
+                }
+                Panel::Report { title, report } => {
+                    if let Some(trace) = &report.result.trace {
+                        trace.chrome_events(runs.len() as u64, title, &mut events);
+                        runs.push(Json::from(title.as_str()));
+                    }
+                }
+            }
+        }
+        jobj! {
+            "displayTimeUnit": "ms",
+            "runs": Json::Arr(runs),
+            "traceEvents": Json::Arr(events),
+        }
+    }
+
+    /// Write the combined Chrome trace of every traced run, reporting
+    /// the path on stdout.
+    pub fn write_chrome_trace(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_chrome_trace().to_pretty())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        Ok(())
+    }
+
     /// The artifact as a CSV table: header plus one row per run.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(CSV_HEADER);
@@ -267,6 +321,52 @@ mod tests {
         );
         assert!(csv.contains("panel one,MR-AVG"));
         assert!(csv.contains("scenario,MR-AVG"));
+    }
+
+    #[test]
+    fn traced_and_failed_runs_round_trip_and_combine() {
+        let mut ok = tiny(ByteSize::from_mib(64), Interconnect::GigE1);
+        ok.trace = true;
+        let mut bad = tiny(ByteSize::from_mib(64), Interconnect::GigE1);
+        bad.trace = true;
+        bad.faults.map_failure_prob = 1.0; // every attempt dies
+        bad.max_attempts = 2;
+        let mut art = Artifacts::new("unit");
+        art.record_report("ok run", run(&ok).unwrap());
+        art.record_report("failed run", run(&bad).unwrap());
+        assert!(art.has_traces());
+
+        // The artifact round-trips with phases intact; the raw span
+        // stream is deliberately transient (it has its own file format).
+        let text = art.to_json().to_pretty();
+        let back = Artifacts::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json().to_pretty(), text, "canonical round-trip");
+        for panel in &back.panels {
+            let Panel::Report { report, .. } = panel else {
+                panic!("expected report panels");
+            };
+            assert!(report.result.phases.is_some());
+            assert!(report.result.trace.is_none());
+        }
+
+        // Combined Chrome document: one process per run, with complete
+        // ("X") span events and process_name metadata for both.
+        let chrome = art.to_chrome_trace();
+        assert_eq!(chrome.field_arr("runs").unwrap().len(), 2);
+        let events = chrome.field_arr("traceEvents").unwrap();
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.field_str("ph") == Ok("X"))
+            .map(|e| e.field_u64("pid").unwrap())
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.field_str("name") == Ok("process_name"))
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn main() -> ExitCode {
             cli.config.benchmark, cli.config.num_maps, cli.config.num_reduces, cli.config.slaves
         );
         print!("{}", sweep.table(&title));
-        if !cli.artifacts.is_empty() {
+        if !cli.artifacts.is_empty() || cli.trace.is_some() {
             let mut artifacts = Artifacts::new("mrbench");
             artifacts.record_sweep(&title, sweep);
             if let Err(e) =
@@ -58,6 +58,12 @@ fn main() -> ExitCode {
             {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
+            }
+            if let Some(path) = &cli.trace {
+                if let Err(e) = artifacts.write_chrome_trace(path) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         return ExitCode::SUCCESS;
@@ -72,25 +78,46 @@ fn main() -> ExitCode {
     };
     println!("{report}");
     if cli.timeline {
+        // The timeline is reconstructed from the phase-span stream (the
+        // --timeline flag forces tracing on), so retries, speculative
+        // attempts, and phase boundaries all show.
         println!();
-        println!("task timeline:");
+        println!("task timeline (per-attempt phase spans):");
         println!(
-            "{:>10} {:>6} {:>6} {:>10} {:>10} {:>10}",
-            "task", "index", "node", "start (s)", "finish (s)", "elapsed"
+            "{:>10} {:>6} {:>4} {:>6} {:>12} {:>10} {:>10} {:>10}",
+            "task", "index", "att", "node", "phase", "start (s)", "end (s)", "elapsed"
         );
-        let mut tasks = report.result.tasks.clone();
-        tasks.sort_by_key(|t| (t.start, !t.is_map, t.index));
-        for t in tasks {
+        let trace = report
+            .result
+            .trace
+            .as_ref()
+            .expect("--timeline runs traced");
+        let mut spans = trace.spans().to_vec();
+        spans.sort_by_key(|s| (s.start, s.node, s.lane, s.end));
+        for s in spans {
             println!(
-                "{:>10} {:>6} {:>6} {:>10.2} {:>10.2} {:>9.2}s",
-                if t.is_map { "map" } else { "reduce" },
-                t.index,
-                t.node,
-                t.start.as_secs_f64(),
-                t.finish.as_secs_f64(),
-                t.elapsed().as_secs_f64(),
+                "{:>10} {:>6} {:>4} {:>6} {:>12} {:>10.2} {:>10.2} {:>9.2}s{}",
+                s.kind,
+                s.index,
+                s.attempt,
+                s.node,
+                s.phase,
+                s.start.as_secs_f64(),
+                s.end.as_secs_f64(),
+                s.end.since(s.start).as_secs_f64(),
+                if s.aborted { "  (aborted)" } else { "" },
             );
         }
+    }
+    if let Some(path) = &cli.trace {
+        let trace = report.result.trace.as_ref().expect("--trace runs traced");
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json().to_pretty())
+            .map_err(|e| format!("writing {}: {e}", path.display()))
+        {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
     }
     if !cli.artifacts.is_empty() {
         let mut artifacts = Artifacts::new("mrbench");

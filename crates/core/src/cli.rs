@@ -24,6 +24,9 @@ pub struct Cli {
     pub timeline: bool,
     /// Machine-readable output requested via `--json` / `--csv`.
     pub artifacts: ArtifactPaths,
+    /// Chrome trace-event output requested via `--trace [PATH]`. Also
+    /// enables phase tracing on the run config.
+    pub trace: Option<PathBuf>,
 }
 
 /// Usage text for `--help`.
@@ -57,6 +60,11 @@ OPTIONS:
                                    [default path: BENCH_mrbench.json]
     --csv [PATH]                   also write a CSV summary table
                                    [default path: BENCH_mrbench.csv]
+    --trace [PATH]                 record per-task phase spans, print the
+                                   phase breakdown, and write a Chrome
+                                   trace-event file (chrome://tracing,
+                                   Perfetto)
+                                   [default path: BENCH_mrbench_trace.json]
 
 FAULT INJECTION:
     --fail-prob <P>                per-attempt task failure probability (maps
@@ -82,21 +90,25 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut compare = false;
     let mut timeline = false;
     let mut artifacts = ArtifactPaths::default();
+    let mut trace: Option<PathBuf> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         // Flags whose value is optional peek ahead, so they are handled
-        // before the `value` closure borrows the iterator.
-        if arg == "--json" || arg == "--csv" {
+        // before the `value` closure borrows the iterator. Any following
+        // token that starts with `-` is the next flag, not a path —
+        // including single-dash ones like `-h`.
+        if arg == "--json" || arg == "--csv" || arg == "--trace" {
             let kind = &arg[2..];
             let path = match it.peek() {
-                Some(v) if !v.starts_with("--") => PathBuf::from(it.next().unwrap()),
+                Some(v) if !v.starts_with('-') => PathBuf::from(it.next().unwrap()),
+                _ if kind == "trace" => PathBuf::from("BENCH_mrbench_trace.json"),
                 _ => ArtifactPaths::default_for("mrbench", kind),
             };
-            if kind == "json" {
-                artifacts.json = Some(path);
-            } else {
-                artifacts.csv = Some(path);
+            match kind {
+                "json" => artifacts.json = Some(path),
+                "csv" => artifacts.csv = Some(path),
+                _ => trace = Some(path),
             }
             continue;
         }
@@ -171,11 +183,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown option: {other}")),
         }
     }
+    config.trace = trace.is_some() || timeline;
     Ok(Cli {
         config,
         compare,
         timeline,
         artifacts,
+        trace,
     })
 }
 
@@ -400,6 +414,65 @@ mod tests {
             Some(std::path::Path::new("BENCH_mrbench.json"))
         );
         assert!(cli.timeline);
+    }
+
+    #[test]
+    fn optional_value_flags_do_not_swallow_following_flags() {
+        // Regression: the lookahead only rejected `--`-prefixed tokens, so
+        // a single-dash flag like `-h` was swallowed as an output path.
+        assert_eq!(
+            parse(&["--json", "-h"]).err(),
+            Some(String::new()),
+            "-h after --json must still reach help"
+        );
+        // As the final token, an optional-value flag takes its default.
+        let cli = parse(&["--maps", "8", "--csv"]).unwrap();
+        assert_eq!(
+            cli.artifacts.csv.as_deref(),
+            Some(std::path::Path::new("BENCH_mrbench.csv"))
+        );
+        assert_eq!(cli.config.num_maps, 8);
+    }
+
+    #[test]
+    fn trace_flag() {
+        let cli = parse(&[]).unwrap();
+        assert!(cli.trace.is_none());
+        assert!(!cli.config.trace);
+        // Bare flag falls back to the conventional path and enables the
+        // recorder on the config.
+        let cli = parse(&["--trace"]).unwrap();
+        assert_eq!(
+            cli.trace.as_deref(),
+            Some(std::path::Path::new("BENCH_mrbench_trace.json"))
+        );
+        assert!(cli.config.trace);
+        // Explicit path, with parsing continuing after it.
+        let cli = parse(&["--trace", "out/t.json", "--maps", "8"]).unwrap();
+        assert_eq!(
+            cli.trace.as_deref(),
+            Some(std::path::Path::new("out/t.json"))
+        );
+        assert_eq!(cli.config.num_maps, 8);
+        // All three optional-value flags combined, each as default.
+        let cli = parse(&["--json", "--csv", "--trace"]).unwrap();
+        assert_eq!(
+            cli.artifacts.json.as_deref(),
+            Some(std::path::Path::new("BENCH_mrbench.json"))
+        );
+        assert_eq!(
+            cli.artifacts.csv.as_deref(),
+            Some(std::path::Path::new("BENCH_mrbench.csv"))
+        );
+        assert_eq!(
+            cli.trace.as_deref(),
+            Some(std::path::Path::new("BENCH_mrbench_trace.json"))
+        );
+        // The timeline is rebuilt from the span stream, so it implies
+        // tracing even without --trace.
+        let cli = parse(&["--timeline"]).unwrap();
+        assert!(cli.config.trace);
+        assert!(cli.trace.is_none());
     }
 
     #[test]

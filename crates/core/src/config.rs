@@ -77,6 +77,10 @@ pub struct BenchConfig {
     pub max_attempts: u32,
     /// Hadoop-style speculative execution for stragglers.
     pub speculative: bool,
+    /// Record per-task phase spans during the run (`--trace`). Excluded
+    /// from the JSON encoding: it selects an output, not a workload, so
+    /// two configs differing only here are the same experiment.
+    pub trace: bool,
 }
 
 impl BenchConfig {
@@ -106,6 +110,7 @@ impl BenchConfig {
             faults: FaultPlan::none(),
             max_attempts: 4,
             speculative: false,
+            trace: false,
         }
     }
 
@@ -308,6 +313,7 @@ impl BenchConfig {
             faults: FaultPlan::from_json(json.req("faults")?)?,
             max_attempts: json.field_u32("max_attempts")?,
             speculative: json.field_bool("speculative")?,
+            trace: false,
         })
     }
 }

@@ -9,6 +9,7 @@ use mapreduce::job::JobResult;
 use simcore::jobj;
 use simcore::json::Json;
 use simcore::stats::TimeSeries;
+use simcore::trace::PhaseBreakdown;
 use simcore::units::ByteSize;
 
 use crate::config::{interconnect_token, BenchConfig};
@@ -55,6 +56,12 @@ impl BenchReport {
     /// Duration of the map phase in seconds.
     pub fn map_phase_secs(&self) -> f64 {
         self.result.map_phase_end.as_secs_f64()
+    }
+
+    /// Per-phase time decomposition; `Some` only when the run was traced
+    /// (`config.trace` / `--trace`).
+    pub fn phases(&self) -> Option<&PhaseBreakdown> {
+        self.result.phases.as_ref()
     }
 
     /// Serialize to JSON: the full config plus the full result, enough
@@ -250,6 +257,26 @@ impl fmt::Display for BenchReport {
             self.peak_cpu_pct(),
             self.peak_rx_mbps()
         )?;
+        if let Some(b) = self.phases() {
+            writeln!(
+                f,
+                "---------------------------------------------------------"
+            )?;
+            writeln!(f, "phase breakdown (exclusive wall time / busy task time)")?;
+            for p in &b.phases {
+                writeln!(
+                    f,
+                    "  {:<12} {:>9.1} s / {:>9.1} s   {:>5} spans",
+                    p.phase, p.exclusive_s, p.busy_s, p.spans
+                )?;
+            }
+            writeln!(
+                f,
+                "  {:<12} {:>9.1} s   (>=2 phases concurrently)",
+                "overlap", b.overlap_s
+            )?;
+            writeln!(f, "  {:<12} {:>9.1} s", "idle", b.idle_s)?;
+        }
         writeln!(
             f,
             "---------------------------------------------------------"

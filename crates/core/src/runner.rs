@@ -10,13 +10,16 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
     config.validate()?;
     let spec = config.job_spec();
     let factory = config.factory();
-    let engine = Engine::new(
+    let mut engine = Engine::new(
         spec,
         factory.as_ref(),
         config.node_spec(),
         config.slaves,
         config.interconnect,
     );
+    if config.trace {
+        engine.enable_tracing();
+    }
     let result = engine.run();
     Ok(BenchReport {
         config: config.clone(),
@@ -71,6 +74,28 @@ mod tests {
         let b = run(&small(MicroBenchmark::Rand, Interconnect::IpoibQdr)).unwrap();
         assert_eq!(a.result.job_time, b.result.job_time);
         assert_eq!(a.result.counters, b.result.counters);
+    }
+
+    #[test]
+    fn traced_config_yields_phases_that_reconcile() {
+        let mut c = small(MicroBenchmark::Avg, Interconnect::GigE1);
+        c.trace = true;
+        let r = run(&c).unwrap();
+        let b = r.phases().expect("breakdown present when traced");
+        assert!(b.reconciles(0.01), "{b:?}");
+        assert!((b.total_s - r.job_time_secs()).abs() < 1e-9);
+        assert!(r.result.trace.is_some());
+        // The report prints the extra phase section.
+        let text = r.to_string();
+        assert!(text.contains("phase breakdown"), "{text}");
+        assert!(text.contains("shuffle"), "{text}");
+        // Tracing never perturbs the simulation itself.
+        let mut plain = c.clone();
+        plain.trace = false;
+        let p = run(&plain).unwrap();
+        assert_eq!(p.result.job_time, r.result.job_time);
+        assert_eq!(p.result.counters, r.result.counters);
+        assert!(p.phases().is_none());
     }
 
     #[test]

@@ -89,7 +89,10 @@ macro_rules! counters_to_json {
 macro_rules! counters_from_json {
     ($self:expr, $j:expr; u64: $($u:ident),*; f64: $($f:ident),*) => {{
         $( $self.$u = $j.field_u64(stringify!($u))?; )*
-        $( $self.$f = $j.field_f64(stringify!($f))?; )*
+        // Float counters use the lenient accessor: a non-finite value
+        // (e.g. from a failed run) serializes as `null` and must parse
+        // back (as NaN) rather than fail the whole artifact.
+        $( $self.$f = $j.field_f64_or_nan(stringify!($f))?; )*
     }};
 }
 
@@ -213,6 +216,24 @@ mod tests {
         // A missing counter is an error, not a silent default.
         let err = Counters::from_json(&Json::parse("{}").unwrap()).unwrap_err();
         assert!(err.contains("map_input_records"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_counters_survive_round_trip_as_nan() {
+        // A failed run can leave a float counter non-finite. The JSON
+        // writer emits `null` for it; parsing the artifact back must
+        // yield NaN for that counter, not an error that loses the whole
+        // sweep.
+        let c = Counters {
+            cpu_core_seconds: f64::NAN,
+            maps_completed: 4,
+            ..Counters::default()
+        };
+        let text = c.to_json().to_compact();
+        assert!(text.contains("\"cpu_core_seconds\":null"), "{text}");
+        let back = Counters::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert!(back.cpu_core_seconds.is_nan());
+        assert_eq!(back.maps_completed, 4);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use cluster::{Cluster, NodeSpec};
 use simcore::event::EventQueue;
 use simcore::rng::SeedFactory;
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace::{Mark, Trace};
 use simnet::{Interconnect, Network, NetworkMonitor, ProtocolModel, Topology};
 
 use crate::conf::EngineKind;
@@ -53,6 +54,17 @@ impl Task {
             Task::Map(m) => m.is_done(),
             Task::Reduce(r) => r.is_done(),
             Task::Doomed => false,
+        }
+    }
+
+    /// Close the attempt's open phase span with the `aborted` marker.
+    /// No-op for completed attempts and doomed stubs (which never open
+    /// a span).
+    fn abort_span(&mut self, now: SimTime, trace: &mut Trace) {
+        match self {
+            Task::Map(m) => m.abort_span(now, trace),
+            Task::Reduce(r) => r.abort_span(now, trace),
+            Task::Doomed => {}
         }
     }
 }
@@ -90,6 +102,7 @@ macro_rules! split_env {
             shuffle_model,
             injector,
             timers,
+            trace,
             ..
         } = &mut *$self;
         (
@@ -109,6 +122,7 @@ macro_rules! split_env {
                 faults: injector,
                 timers,
                 notes: $notes,
+                trace,
             },
         )
     }};
@@ -156,6 +170,9 @@ pub struct Engine<'f> {
     /// the speculation threshold.
     dur_sum: [f64; 2],
     dur_n: [u32; 2],
+    /// Phase-span recorder. Disabled by default — recording costs nothing
+    /// until [`Engine::enable_tracing`] is called before `run`.
+    trace: Trace,
 }
 
 impl<'f> Engine<'f> {
@@ -244,8 +261,16 @@ impl<'f> Engine<'f> {
             clock: SimTime::ZERO,
             dur_sum: [0.0; 2],
             dur_n: [0; 2],
+            trace: Trace::disabled(),
             spec,
         }
+    }
+
+    /// Record per-task phase spans and scheduler marks during the run.
+    /// The resulting [`JobResult`] carries the span stream (`trace`) and a
+    /// per-phase breakdown (`phases`). Must be called before [`Engine::run`].
+    pub fn enable_tracing(&mut self) {
+        self.trace = Trace::enabled();
     }
 
     /// Override the cost model (ablations, calibration experiments).
@@ -430,10 +455,14 @@ impl<'f> Engine<'f> {
                     }
                     Note::AttemptFailed { slot } => {
                         let s = slot as usize;
-                        if self.tasks[s].is_some() {
+                        if let Some(t) = self.tasks[s].as_mut() {
+                            t.abort_span(now, &mut self.trace);
                             self.tasks[s] = None;
                             self.on_attempt_failed(slot, now);
                         }
+                    }
+                    Note::AttemptSuperseded { slot } => {
+                        self.on_attempt_superseded(slot, now);
                     }
                 }
             }
@@ -459,9 +488,21 @@ impl<'f> Engine<'f> {
             }
             let other = self.slot_info[s];
             if other.is_map == si.is_map && other.index == si.index {
+                if let Some(t) = self.tasks[s].as_mut() {
+                    t.abort_span(now, &mut self.trace);
+                }
                 self.tasks[s] = None;
                 self.counters.killed_attempts += 1;
                 self.scheduler.release_slot(other.is_map, other.node);
+                if self.trace.is_enabled() {
+                    let kind = if other.is_map { "map" } else { "reduce" };
+                    self.trace.mark(
+                        format!("killed {kind} {} (sibling won)", other.index),
+                        other.node as u32,
+                        s as u32,
+                        now,
+                    );
+                }
             }
         }
         if !si.is_map {
@@ -483,10 +524,27 @@ impl<'f> Engine<'f> {
         self.failures[task] += 1;
         self.scheduler.release_slot(si.is_map, si.node);
         self.node_failures[si.node] += 1;
+        if self.trace.is_enabled() {
+            let kind = if si.is_map { "map" } else { "reduce" };
+            self.trace.mark(
+                format!("attempt failed: {kind} {}", si.index),
+                si.node as u32,
+                slot,
+                now,
+            );
+        }
         if self.node_failures[si.node] >= self.spec.conf.node_blacklist_threshold
             && self.scheduler.blacklist(si.node)
         {
             self.counters.blacklisted_nodes += 1;
+            if self.trace.is_enabled() {
+                self.trace.mark(
+                    format!("node {} blacklisted", si.node),
+                    si.node as u32,
+                    Mark::NO_LANE,
+                    now,
+                );
+            }
         }
         if self.failures[task] >= self.spec.conf.max_attempts {
             let kind = if si.is_map { "map" } else { "reduce" };
@@ -506,6 +564,32 @@ impl<'f> Engine<'f> {
         self.do_schedule(now);
     }
 
+    /// An attempt reached commit after a sibling had already committed
+    /// (speculative commit race). Its output was dropped by the registry;
+    /// the attempt counts as killed — not failed — so it burns no retry
+    /// budget and cannot blacklist its node.
+    fn on_attempt_superseded(&mut self, slot: u32, now: SimTime) {
+        let s = slot as usize;
+        let Some(t) = self.tasks[s].as_mut() else {
+            return;
+        };
+        t.abort_span(now, &mut self.trace);
+        self.tasks[s] = None;
+        let si = self.slot_info[s];
+        self.counters.killed_attempts += 1;
+        self.scheduler.release_slot(si.is_map, si.node);
+        if self.trace.is_enabled() {
+            let kind = if si.is_map { "map" } else { "reduce" };
+            self.trace.mark(
+                format!("{kind} {} commit superseded", si.index),
+                si.node as u32,
+                slot,
+                now,
+            );
+        }
+        self.do_schedule(now);
+    }
+
     /// A planned node crash fires: the node leaves the cluster, its
     /// running attempts die, and its committed map outputs become
     /// unfetchable — those maps re-run elsewhere (Hadoop's map-output-lost
@@ -515,13 +599,24 @@ impl<'f> Engine<'f> {
             return;
         }
         self.scheduler.mark_dead(node);
+        if self.trace.is_enabled() {
+            self.trace.mark(
+                format!("node {node} crashed"),
+                node as u32,
+                Mark::NO_LANE,
+                now,
+            );
+        }
         let mut orphaned: Vec<(bool, u32)> = Vec::new();
         for s in 0..self.tasks.len() {
             if self.slot_info[s].node != node {
                 continue;
             }
-            let Some(t) = &self.tasks[s] else { continue };
+            let Some(t) = self.tasks[s].as_mut() else {
+                continue;
+            };
             let was_running = !t.is_done();
+            t.abort_span(now, &mut self.trace);
             self.tasks[s] = None;
             let si = self.slot_info[s];
             if was_running {
@@ -612,6 +707,16 @@ impl<'f> Engine<'f> {
             node,
             backup,
         });
+        if self.trace.is_enabled() {
+            let kind = if is_map { "map" } else { "reduce" };
+            let suffix = if backup { " (speculative)" } else { "" };
+            self.trace.mark(
+                format!("launch {kind} {index} attempt {attempt}{suffix}"),
+                node as u32,
+                slot,
+                now,
+            );
+        }
         if self.injector.fails_at_startup(is_map, index, attempt) {
             // The deterministic fail-first hook: the attempt dies right
             // after its JVM launch.
@@ -631,7 +736,7 @@ impl<'f> Engine<'f> {
         if is_map {
             let counts = self.partition_counts(index);
             let (tasks, mut env) = split_env!(self, now, notes);
-            let t = MapTask::launch(slot, index, node, counts, jitter, doomed, &mut env);
+            let t = MapTask::launch(slot, index, node, attempt, counts, jitter, doomed, &mut env);
             tasks.push(Some(Task::Map(t)));
         } else {
             let output_bytes = self.spec_output_bytes_per_reduce();
@@ -641,6 +746,7 @@ impl<'f> Engine<'f> {
                 index,
                 slot,
                 node,
+                attempt,
                 num_maps,
                 output_bytes,
                 jitter,
@@ -707,6 +813,10 @@ impl<'f> Engine<'f> {
 
     fn fail(&mut self, now: SimTime, reason: String, task: Option<(bool, u32)>) {
         if self.failed.is_none() {
+            if self.trace.is_enabled() {
+                self.trace
+                    .mark(format!("job failed: {reason}"), 0, Mark::NO_LANE, now);
+            }
             self.failed = Some(FailureDiag {
                 reason,
                 task,
@@ -780,6 +890,25 @@ impl<'f> Engine<'f> {
             .flush(self.clock, &mut self.cluster.cpu);
         self.net_monitor.flush(self.clock, &mut self.net);
 
+        // Aborted jobs leave attempts mid-phase: close their open spans at
+        // the last simulated instant so the trace and breakdown still
+        // account for every span.
+        if self.trace.is_enabled() {
+            let clock = self.clock;
+            for t in self.tasks.iter_mut().flatten() {
+                t.abort_span(clock, &mut self.trace);
+            }
+        }
+        let job_time = end.since(SimTime::ZERO);
+        let phases = self
+            .trace
+            .is_enabled()
+            .then(|| self.trace.breakdown(job_time));
+        let trace = self
+            .trace
+            .is_enabled()
+            .then(|| std::mem::replace(&mut self.trace, Trace::disabled()));
+
         let mut tasks = Vec::new();
         let mut map_phase_end = SimTime::ZERO;
         let mut shuffle_end = SimTime::ZERO;
@@ -831,13 +960,15 @@ impl<'f> Engine<'f> {
                 JobOutcome::Succeeded
             },
             failure: self.failed,
-            job_time: end.since(SimTime::ZERO),
+            job_time,
             map_phase_end,
             shuffle_end,
             counters: self.counters,
             tasks,
             cpu_series,
             net_rx_series,
+            phases,
+            trace,
         }
     }
 }

@@ -50,14 +50,19 @@ impl ShuffleRegistry {
         }
     }
 
-    /// Commit a finished map's output.
-    pub fn register(&mut self, map_index: u32, output: MapOutput) {
-        assert!(
-            self.outputs[map_index as usize].is_none(),
-            "map {map_index} committed twice"
-        );
+    /// Commit a finished map's output. Commit is first-wins: with
+    /// speculative execution, the backup attempt can finish close behind
+    /// the original, and whichever attempt registers second loses — its
+    /// output is dropped (reducers already fetch from the winner) and
+    /// `false` is returned so the caller can account for the discarded
+    /// attempt.
+    pub fn register(&mut self, map_index: u32, output: MapOutput) -> bool {
+        if self.outputs[map_index as usize].is_some() {
+            return false;
+        }
         self.node_output_bytes[output.node] += output.total_bytes();
         self.outputs[map_index as usize] = Some(output);
+        true
     }
 
     /// The committed output of `map_index`, if any.
@@ -127,11 +132,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "committed twice")]
-    fn double_commit_panics() {
-        let mut r = ShuffleRegistry::new(1, 1, ByteSize::from_gib(1));
-        r.register(0, output(0, vec![1]));
-        r.register(0, output(0, vec![1]));
+    fn double_commit_is_first_wins() {
+        // Speculative execution can have both attempts of a map reach
+        // commit; the registry must keep the first and drop the second
+        // (this used to be an assert, panicking mid-run).
+        let mut r = ShuffleRegistry::new(1, 2, ByteSize::from_gib(1));
+        assert!(r.register(0, output(0, vec![100])));
+        assert!(!r.register(0, output(1, vec![999])));
+        // The winner's output is untouched and the loser's bytes are not
+        // double-counted into the page-cache model.
+        assert_eq!(r.output(0).unwrap().node, 0);
+        assert_eq!(r.output(0).unwrap().total_bytes(), 100);
+        assert_eq!(r.node_output_bytes(0), 100);
+        assert_eq!(r.node_output_bytes(1), 0);
+        assert_eq!(r.committed(), 1);
     }
 
     #[test]
@@ -147,7 +161,7 @@ mod tests {
         assert_eq!(r.node_output_bytes(0), 0);
         assert_eq!(r.committed(), 1);
         // The re-executed map commits again, elsewhere.
-        r.register(0, output(1, vec![100]));
+        assert!(r.register(0, output(1, vec![100])));
         assert_eq!(r.node_output_bytes(1), 300);
     }
 

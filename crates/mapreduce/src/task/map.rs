@@ -16,12 +16,13 @@
 
 use cluster::IoKind;
 use simcore::time::SimTime;
+use simcore::trace::Trace;
 use simcore::units::ByteSize;
 
 use crate::ifile;
 use crate::shuffle::MapOutput;
 
-use super::{tag, Env, Note, Stage};
+use super::{phase, tag, Env, Note, PhaseCursor, Stage};
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum State {
@@ -68,16 +69,20 @@ pub(crate) struct MapTask {
     /// Bytes passing through the final merge (intermediate merge rounds
     /// plus the final pass over everything).
     merge_bytes: u64,
+    /// Open phase span, for tracing.
+    cursor: PhaseCursor,
 }
 
 impl MapTask {
     /// Create the task and submit its JVM start. `partition_records[r]` is
     /// the record count this map sends to reducer `r`, as computed by the
     /// job's partitioner.
+    #[allow(clippy::too_many_arguments)]
     pub fn launch(
         slot: u32,
         index: u32,
         node: usize,
+        attempt: u32,
         partition_records: Vec<u64>,
         jitter: f64,
         doomed: bool,
@@ -140,6 +145,7 @@ impl MapTask {
             merge_bytes,
             jitter,
             doomed,
+            cursor: PhaseCursor::new("map", index, attempt, node, slot, env.now),
         };
         env.cpu.submit(
             env.now,
@@ -161,6 +167,7 @@ impl MapTask {
             (State::Jvm, Stage::Jvm) => {
                 env.counters.map_input_records += 1; // the dummy split record
                 self.state = State::Collecting;
+                self.cursor.switch(env.trace, env.now, phase::MAP, 0);
                 self.submit_chunk(env);
             }
             (State::Collecting, Stage::MapChunkCpu) => {
@@ -252,6 +259,8 @@ impl MapTask {
         if self.chunk_bytes.len() > 1 {
             // Final merge of the spill files.
             self.state = State::MergeRead;
+            self.cursor
+                .switch(env.trace, env.now, phase::MAP_MERGE, self.out_bytes);
             env.counters.disk_read_bytes += self.merge_bytes;
             env.counters.cpu_core_seconds += env.costs.merge(self.merge_bytes);
             env.disk.submit_cached(
@@ -275,6 +284,27 @@ impl MapTask {
             env.notes.push(Note::AttemptFailed { slot: self.slot });
             return;
         }
+        let committed = env.registry.register(
+            self.index,
+            MapOutput {
+                node: self.node,
+                partition_bytes: self.partition_bytes.clone(),
+                partition_records: self.partition_records.clone(),
+            },
+        );
+        if !committed {
+            // A sibling (speculative) attempt committed first. First-wins:
+            // this attempt's output is dropped and the engine retires it
+            // as killed, charging nothing to the logical counters.
+            env.notes.push(Note::AttemptSuperseded { slot: self.slot });
+            return;
+        }
+        let phase_bytes = if self.cursor.current() == phase::MAP {
+            self.out_bytes
+        } else {
+            self.merge_bytes
+        };
+        self.cursor.close(env.trace, env.now, phase_bytes, false);
         self.state = State::Done;
         self.finish = Some(env.now);
         env.counters.maps_completed += 1;
@@ -285,16 +315,16 @@ impl MapTask {
         let raw = (env.spec.key_size + env.spec.value_size) as u64 * self.records();
         env.counters.map_output_bytes += raw;
         env.counters.map_output_materialized_bytes += self.out_bytes;
-        env.registry.register(
-            self.index,
-            MapOutput {
-                node: self.node,
-                partition_bytes: self.partition_bytes.clone(),
-                partition_records: self.partition_records.clone(),
-            },
-        );
         env.notes.push(Note::MapOutputReady(self.index));
         env.notes.push(Note::TaskFinished { slot: self.slot });
+    }
+
+    /// Close the open phase span with an `aborted` marker — called by the
+    /// engine when the attempt is killed or fails before committing.
+    pub fn abort_span(&mut self, now: SimTime, trace: &mut Trace) {
+        if self.state != State::Done {
+            self.cursor.close(trace, now, 0, true);
+        }
     }
 
     /// True once the task committed.

@@ -11,6 +11,7 @@ pub(crate) mod reduce;
 use cluster::{CpuSim, DiskSim};
 use simcore::event::EventQueue;
 use simcore::time::SimTime;
+use simcore::trace::{Span, Trace};
 use simnet::{Network, ProtocolModel};
 
 use crate::conf::JobConf;
@@ -99,6 +100,94 @@ impl Stage {
     }
 }
 
+/// Phase names used in trace spans. One vocabulary for both task kinds so
+/// breakdowns and figure labels stay consistent.
+pub(crate) mod phase {
+    /// JVM start-up delay (both kinds).
+    pub const JVM: &str = "jvm";
+    /// Map collect + sort, including overlapped spill writes.
+    pub const MAP: &str = "map";
+    /// Map-side final merge of spill files.
+    pub const MAP_MERGE: &str = "map_merge";
+    /// Reduce-side shuffle (fetch + in-memory merge backpressure).
+    pub const SHUFFLE: &str = "shuffle";
+    /// Reduce-side final merge.
+    pub const REDUCE_MERGE: &str = "reduce_merge";
+    /// The reduce function.
+    pub const REDUCE: &str = "reduce";
+    /// Reduce output write.
+    pub const OUTPUT: &str = "output";
+}
+
+/// Per-attempt phase cursor: tracks the currently open phase and emits a
+/// [`Span`] each time the attempt moves to the next one (or is cut short).
+pub(crate) struct PhaseCursor {
+    kind: &'static str,
+    index: u32,
+    attempt: u32,
+    node: u32,
+    lane: u32,
+    cur: &'static str,
+    since: SimTime,
+}
+
+impl PhaseCursor {
+    pub fn new(
+        kind: &'static str,
+        index: u32,
+        attempt: u32,
+        node: usize,
+        lane: u32,
+        now: SimTime,
+    ) -> PhaseCursor {
+        PhaseCursor {
+            kind,
+            index,
+            attempt,
+            node: node as u32,
+            lane,
+            cur: phase::JVM,
+            since: now,
+        }
+    }
+
+    /// The currently open phase.
+    pub fn current(&self) -> &'static str {
+        self.cur
+    }
+
+    /// Close the open phase (attributing `bytes` to it) and open `next`.
+    pub fn switch(&mut self, trace: &mut Trace, now: SimTime, next: &'static str, bytes: u64) {
+        self.emit(trace, now, bytes, false);
+        self.cur = next;
+        self.since = now;
+    }
+
+    /// Close the open phase without opening another (commit or kill).
+    pub fn close(&mut self, trace: &mut Trace, now: SimTime, bytes: u64, aborted: bool) {
+        self.emit(trace, now, bytes, aborted);
+        self.since = now;
+    }
+
+    fn emit(&self, trace: &mut Trace, now: SimTime, bytes: u64, aborted: bool) {
+        if !trace.is_enabled() {
+            return;
+        }
+        trace.span(Span {
+            phase: self.cur,
+            kind: self.kind,
+            index: self.index,
+            attempt: self.attempt,
+            node: self.node,
+            lane: self.lane,
+            start: self.since,
+            end: now,
+            bytes,
+            aborted,
+        });
+    }
+}
+
 /// The sink tag: resource consumption with no follow-up event.
 pub(crate) const SINK_TAG: u64 = 0;
 
@@ -130,6 +219,10 @@ pub(crate) enum Note {
     /// The attempt in `slot` gave up (shuffle fetch retries exhausted);
     /// the engine treats it like any other failed attempt.
     AttemptFailed { slot: u32 },
+    /// The attempt in `slot` reached commit but a sibling attempt had
+    /// already committed (speculative commit race, first-wins); its output
+    /// was dropped and the engine counts it as killed, not failed.
+    AttemptSuperseded { slot: u32 },
 }
 
 /// Mutable view of the simulation a task handler acts through.
@@ -163,6 +256,8 @@ pub(crate) struct Env<'a> {
     pub timers: &'a mut EventQueue<u64>,
     /// Signals raised during this dispatch.
     pub notes: &'a mut Vec<Note>,
+    /// Phase-span recorder (disabled unless the run is traced).
+    pub trace: &'a mut Trace,
 }
 
 #[cfg(test)]

@@ -22,10 +22,11 @@ use std::collections::{HashMap, VecDeque};
 
 use cluster::IoKind;
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace::Trace;
 use simcore::units::ByteSize;
 use simnet::NodeId;
 
-use super::{tag, Env, Note, Stage, SINK_TAG};
+use super::{phase, tag, Env, Note, PhaseCursor, Stage, SINK_TAG};
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum State {
@@ -85,6 +86,8 @@ pub(crate) struct ReduceTask {
     /// Injected fault: the attempt runs its whole pipeline, then dies at
     /// commit instead of completing.
     doomed: bool,
+    /// Open phase span, for tracing.
+    cursor: PhaseCursor,
 }
 
 impl ReduceTask {
@@ -94,6 +97,7 @@ impl ReduceTask {
         index: u32,
         slot: u32,
         node: usize,
+        attempt: u32,
         num_maps: u32,
         output_write_bytes: u64,
         jitter: f64,
@@ -125,6 +129,7 @@ impl ReduceTask {
             output_write_bytes,
             jitter,
             doomed,
+            cursor: PhaseCursor::new("reduce", index, attempt, node, slot, env.now),
         };
         env.cpu.submit(
             env.now,
@@ -171,6 +176,7 @@ impl ReduceTask {
         match (self.state, stage) {
             (State::Jvm, Stage::Jvm) => {
                 self.state = State::Shuffling;
+                self.cursor.switch(env.trace, env.now, phase::SHUFFLE, 0);
                 // Pick up everything committed before we started.
                 for map in 0..self.num_maps {
                     if env.registry.output(map).is_some() {
@@ -238,6 +244,8 @@ impl ReduceTask {
             }
             (State::MergeCpu, Stage::ReduceMergeCpu) => {
                 self.state = State::ReduceCpu;
+                self.cursor
+                    .switch(env.trace, env.now, phase::REDUCE, self.input_bytes);
                 let work = env.costs.reduce(
                     self.input_records,
                     self.input_bytes,
@@ -255,6 +263,8 @@ impl ReduceTask {
             (State::ReduceCpu, Stage::ReduceCpu) => {
                 if self.output_write_bytes > 0 {
                     self.state = State::OutWrite;
+                    self.cursor
+                        .switch(env.trace, env.now, phase::OUTPUT, self.input_bytes);
                     env.counters.disk_write_bytes += self.output_write_bytes;
                     env.disk.submit_cached(
                         env.now,
@@ -457,6 +467,8 @@ impl ReduceTask {
         // data still needs to come back from disk.
         let read_back =
             (self.spilled_bytes as f64 * (1.0 - env.shuffle_model.merge_overlap)) as u64;
+        self.cursor
+            .switch(env.trace, env.now, phase::REDUCE_MERGE, self.input_bytes);
         if read_back > 0 {
             self.state = State::MergeRead;
             env.counters.disk_read_bytes += read_back;
@@ -492,6 +504,12 @@ impl ReduceTask {
             env.notes.push(Note::AttemptFailed { slot: self.slot });
             return;
         }
+        let phase_bytes = if self.cursor.current() == phase::OUTPUT {
+            self.output_write_bytes
+        } else {
+            self.input_bytes
+        };
+        self.cursor.close(env.trace, env.now, phase_bytes, false);
         self.state = State::Done;
         self.finish = Some(env.now);
         env.counters.reduces_completed += 1;
@@ -499,6 +517,14 @@ impl ReduceTask {
         // speculation cannot double-count them.
         env.counters.reduce_input_records += self.input_records;
         env.notes.push(Note::TaskFinished { slot: self.slot });
+    }
+
+    /// Close the open phase span with an `aborted` marker — called by the
+    /// engine when the attempt is killed or fails before completing.
+    pub fn abort_span(&mut self, now: SimTime, trace: &mut Trace) {
+        if self.state != State::Done {
+            self.cursor.close(trace, now, 0, true);
+        }
     }
 
     /// True once the reduce completed.

@@ -1,0 +1,121 @@
+//! End-to-end phase-tracing tests: span streams and breakdowns from full
+//! engine runs, including runs with kills (speculation) and node crashes.
+
+use cluster::NodeSpec;
+use mapreduce::engine::Engine;
+use mapreduce::io::DataType;
+use mapreduce::job::{JobResult, JobSpec};
+use mapreduce::{HashPartitionerFactory, NodeCrash, NodeSlowdown};
+use simnet::Interconnect;
+
+fn base_spec() -> JobSpec {
+    let mut spec = JobSpec {
+        key_size: 1024,
+        value_size: 1024,
+        pairs_per_map: 20_000,
+        data_type: DataType::BytesWritable,
+        ..JobSpec::default()
+    };
+    spec.conf.num_maps = 8;
+    spec.conf.num_reduces = 4;
+    spec
+}
+
+fn run(spec: JobSpec, traced: bool) -> JobResult {
+    let mut engine = Engine::new(
+        spec,
+        &HashPartitionerFactory,
+        NodeSpec::westmere(),
+        2,
+        Interconnect::GigE10,
+    );
+    if traced {
+        engine.enable_tracing();
+    }
+    engine.run()
+}
+
+#[test]
+fn tracing_changes_nothing_but_adds_spans() {
+    let plain = run(base_spec(), false);
+    let traced = run(base_spec(), true);
+    // The recorder must be a pure observer.
+    assert_eq!(plain.job_time, traced.job_time);
+    assert_eq!(plain.counters, traced.counters);
+    assert!(plain.phases.is_none() && plain.trace.is_none());
+    let trace = traced.trace.as_ref().expect("span stream");
+    assert!(!trace.spans().is_empty());
+    // Every attempt opens with a JVM span; 8 maps + 4 reduces, no retries.
+    let jvm = trace.spans().iter().filter(|s| s.phase == "jvm").count();
+    assert_eq!(jvm, 12);
+    assert!(trace.marks().iter().any(|m| m.label.starts_with("launch ")));
+}
+
+#[test]
+fn breakdown_reconciles_with_job_time() {
+    let r = run(base_spec(), true);
+    let b = r.phases.as_ref().expect("breakdown");
+    // The boundary sweep partitions wall-clock exactly; 1% is the
+    // acceptance bound, but integer-ns accounting should be tighter.
+    assert!(b.reconciles(0.01), "{b:?}");
+    assert!((b.total_s - r.job_time_secs()).abs() < 1e-9);
+    let names: Vec<&str> = b.phases.iter().map(|p| p.phase.as_str()).collect();
+    for expected in ["jvm", "map", "shuffle", "reduce"] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    // Spans never escape the job window.
+    let total_ns = r.job_time.as_nanos();
+    for s in r.trace.as_ref().unwrap().spans() {
+        assert!(s.end >= s.start);
+        assert!(s.end.as_nanos() <= total_ns, "span past job end: {s:?}");
+    }
+}
+
+#[test]
+fn killed_speculative_attempts_leave_aborted_spans() {
+    let mut spec = base_spec();
+    spec.conf.faults.node_slowdowns.push(NodeSlowdown {
+        node: 0,
+        factor: 6.0,
+    });
+    spec.conf.speculative = true;
+    spec.conf.speculative_slowdown = 1.2;
+    let r = run(spec, true);
+    assert!(r.counters.speculative_wins > 0, "{:?}", r.counters);
+    let trace = r.trace.as_ref().expect("span stream");
+    let aborted = trace.spans().iter().filter(|s| s.aborted).count();
+    assert!(
+        aborted as u64 >= r.counters.killed_attempts,
+        "every killed attempt closes its open span: {aborted} aborted vs {:?}",
+        r.counters
+    );
+    assert!(trace
+        .marks()
+        .iter()
+        .any(|m| m.label.contains("(speculative)")));
+    assert!(r.phases.as_ref().unwrap().reconciles(0.01));
+}
+
+#[test]
+fn node_crash_closes_spans_and_breakdown_still_reconciles() {
+    // Crash node 1 midway between map-phase end and job end so committed
+    // map outputs are invalidated while reduces are still fetching.
+    let clean = run(base_spec(), false);
+    let last_finish = clean
+        .tasks
+        .iter()
+        .map(|t| t.finish.as_secs_f64())
+        .fold(0.0, f64::max);
+    let crash_at = (clean.map_phase_end.as_secs_f64() + last_finish) / 2.0;
+    let mut spec = base_spec();
+    spec.conf.faults.node_crashes.push(NodeCrash {
+        node: 1,
+        at_secs: crash_at,
+    });
+    let r = run(spec, true);
+    let trace = r.trace.as_ref().expect("span stream");
+    assert!(trace.marks().iter().any(|m| m.label == "node 1 crashed"));
+    assert!(trace.spans().iter().any(|s| s.aborted));
+    let b = r.phases.as_ref().unwrap();
+    assert!(b.reconciles(0.01), "{b:?}");
+}

@@ -132,6 +132,23 @@ impl Json {
             .ok_or_else(|| format!("field '{key}' is not a number"))
     }
 
+    /// `f64` field where `null` means "not a number".
+    ///
+    /// JSON has no NaN/Infinity literals, so the writer serializes any
+    /// non-finite [`Json::Num`] as `null`. Fields that can legitimately
+    /// hold a non-finite value (e.g. a failed sweep cell's time) must be
+    /// read back through this accessor, which maps `null` to `f64::NAN`,
+    /// making the write/parse cycle lossy only in the *kind* of
+    /// non-finiteness (every non-finite value comes back as NaN).
+    pub fn field_f64_or_nan(&self, key: &str) -> Result<f64, String> {
+        match self.req(key)? {
+            Json::Null => Ok(f64::NAN),
+            v => v
+                .as_f64()
+                .ok_or_else(|| format!("field '{key}' is not a number or null")),
+        }
+    }
+
     /// `bool` field.
     pub fn field_bool(&self, key: &str) -> Result<bool, String> {
         self.req(key)?
@@ -518,6 +535,27 @@ mod tests {
             }
         }
         assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_nan_via_null() {
+        // Policy: non-finite floats serialize as `null`; readers of
+        // fields that may be non-finite use `field_f64_or_nan`, which
+        // maps `null` back to NaN (the distinction between NaN and the
+        // infinities is not preserved — all come back as NaN).
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = jobj! { "t": x };
+            assert_eq!(doc.to_compact(), r#"{"t":null}"#);
+            let back = Json::parse(&doc.to_compact()).unwrap();
+            assert!(back.field_f64_or_nan("t").unwrap().is_nan());
+            // The strict accessor still rejects null.
+            assert!(back.field_f64("t").is_err());
+        }
+        // Finite values pass through the lenient accessor unchanged.
+        let doc = Json::parse(r#"{"t": 1.25, "n": 3}"#).unwrap();
+        assert_eq!(doc.field_f64_or_nan("t"), Ok(1.25));
+        assert_eq!(doc.field_f64_or_nan("n"), Ok(3.0));
+        assert!(doc.field_f64_or_nan("missing").is_err());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   integration for resource-utilization reporting.
 //! * [`json`] — a dependency-free JSON value model backing the
 //!   machine-readable benchmark artifacts.
+//! * [`trace`] — a phase-span recorder for timeline observability:
+//!   Chrome trace-event export and per-phase time breakdowns.
 //!
 //! Everything in this crate is deterministic: no wall-clock, no OS entropy,
 //! no thread scheduling effects. A simulation driven from these primitives
@@ -26,6 +28,7 @@ pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod units;
 
 pub use event::{EventId, EventQueue};
@@ -33,4 +36,5 @@ pub use json::Json;
 pub use rng::{JavaRandom, SeedFactory, SplitMix64, Xoshiro256pp};
 pub use stats::{Histogram, OnlineStats, RateIntegrator, Sample, TimeSeries};
 pub use time::{SimDuration, SimTime};
+pub use trace::{Mark, PhaseAgg, PhaseBreakdown, Span, Trace};
 pub use units::{ByteSize, Rate, GIB, KIB, MIB};

@@ -64,6 +64,17 @@ pub fn max_min_rates(
     let mut frozen = vec![false; nf];
     let mut n_frozen = 0;
 
+    // Strictly positive floor for frozen rates. Progressive filling
+    // subtracts fair shares from `remaining`, and that subtraction can
+    // drift a capacity a few ulps below zero; the `.max(0.0)` clamp then
+    // freezes every remaining flow at exactly 0 B/s, which the network
+    // layer turns into an infinite completion time (the flow is skipped
+    // by `next_event_time` and never finishes). Relative to the largest
+    // capacity, 1e-12 is far below any real share but keeps every
+    // completion time finite.
+    let max_cap = remaining.iter().cloned().fold(0.0f64, f64::max);
+    let rate_floor = (max_cap * 1e-12).max(f64::MIN_POSITIVE);
+
     while n_frozen < nf {
         // Find the bottleneck: the resource with the smallest fair share.
         let mut best_share = f64::INFINITY;
@@ -79,10 +90,10 @@ pub fn max_min_rates(
         }
         if best_res == usize::MAX {
             // No contended resources remain (shouldn't happen while flows
-            // are unfrozen), freeze the rest at zero defensively.
+            // are unfrozen), freeze the rest at the floor defensively.
             for (i, fz) in frozen.iter_mut().enumerate() {
                 if !*fz {
-                    rates[i] = 0.0;
+                    rates[i] = rate_floor;
                 }
             }
             break;
@@ -97,7 +108,7 @@ pub fn max_min_rates(
             if crosses {
                 frozen[i] = true;
                 n_frozen += 1;
-                rates[i] = best_share;
+                rates[i] = best_share.max(rate_floor);
                 for r in resources_of(f) {
                     if r != usize::MAX {
                         remaining[r] = (remaining[r] - best_share).max(0.0);
@@ -220,6 +231,29 @@ mod tests {
             let in_full = in_used[f.dst] >= ingress[f.dst] - 1e-6;
             assert!(eg_full || in_full, "flow {f:?} rate {r} not bottlenecked");
         }
+    }
+
+    #[test]
+    fn drifted_negative_capacity_never_freezes_a_flow_at_zero() {
+        // Capacities reaching the solver are themselves differences of
+        // floats (link rate minus reserved bandwidth, remaining after a
+        // partial recompute), so they can drift a few ulps below zero.
+        // 0.3 - 0.1 - 0.1 - 0.1 is the classic example: ~-2.8e-17.
+        let drifted = 0.3_f64 - 0.1 - 0.1 - 0.1;
+        assert!(drifted < 0.0, "test premise: the subtraction must drift");
+        let rates = max_min_rates(
+            &[FlowSpec { src: 0, dst: 1 }, FlowSpec { src: 1, dst: 0 }],
+            &[drifted, 100.0],
+            &[100.0, 100.0],
+            None,
+        );
+        // Before the floor, flow 0 froze at exactly 0 B/s — an infinite
+        // completion time. Every rate must be strictly positive.
+        for r in &rates {
+            assert!(*r > 0.0, "{rates:?}");
+        }
+        // The unaffected flow still gets its real share.
+        assert!(close(rates[1], 100.0), "{rates:?}");
     }
 
     #[test]
