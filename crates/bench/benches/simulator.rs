@@ -8,6 +8,10 @@
 //! the IFile codec, and a full end-to-end job. Run with
 //! `cargo bench -p mrbench-bench`.
 
+// The one place wall-clock time is legitimate: this harness measures
+// real execution, not simulated time.
+#![allow(clippy::disallowed_methods)]
+
 use std::hint::black_box;
 use std::time::Instant;
 

@@ -21,8 +21,6 @@
 //! * `--quick` — CI smoke mode: MiB-scale shuffle sizes so the binary
 //!   finishes in seconds; paper-scale shape checks are skipped.
 
-#![warn(missing_docs)]
-
 use std::path::PathBuf;
 
 use simcore::units::ByteSize;
@@ -32,6 +30,7 @@ use mrbench::{ArtifactPaths, Artifacts, BenchConfig, BenchReport, Sweep};
 
 /// Shared command-line harness for the figure binaries: flag parsing,
 /// quick-mode size substitution, and artifact collection.
+#[derive(Debug)]
 pub struct Harness {
     artifacts: Artifacts,
     paths: ArtifactPaths,
@@ -218,6 +217,7 @@ pub fn print_improvements(sweep: &Sweep) {
 }
 
 /// Outcome of one shape check.
+#[derive(Debug)]
 pub struct ShapeCheck {
     /// What was checked.
     pub name: String,

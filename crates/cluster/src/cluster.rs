@@ -32,6 +32,7 @@ impl ClusterPreset {
 /// Node indices are *slave* indices: the master (JobTracker /
 /// ResourceManager) is modelled as control-plane latency, not a simulated
 /// machine, because the paper's benchmarks never bottleneck on it.
+#[derive(Debug)]
 pub struct Cluster {
     spec: NodeSpec,
     n_slaves: usize,

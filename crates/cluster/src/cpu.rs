@@ -13,7 +13,7 @@
 //! Work amounts are expressed in *core-seconds at the Westmere baseline*;
 //! a node's `speed` factor scales execution.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::stats::RateIntegrator;
 use simcore::time::{SimDuration, SimTime};
@@ -37,15 +37,17 @@ pub struct CpuCompletion {
 struct Job {
     node: usize,
     remaining: f64,
+    // simlint: allow(unit-suffix, core-seconds per second, a dimensionless PS share, not bytes/s)
     rate: f64,
     tag: u64,
 }
 
 /// Per-node processor-sharing CPU simulator.
+#[derive(Debug)]
 pub struct CpuSim {
     cores: Vec<u32>,
     speed: Vec<f64>,
-    jobs: HashMap<u64, Job>,
+    jobs: BTreeMap<u64, Job>,
     runnable_per_node: Vec<usize>,
     next_id: u64,
     clock: SimTime,
@@ -62,7 +64,7 @@ impl CpuSim {
         CpuSim {
             cores,
             speed,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             runnable_per_node: vec![0; n],
             next_id: 0,
             clock: SimTime::ZERO,
@@ -127,13 +129,14 @@ impl CpuSim {
     /// Advance to `now`, returning completions in deterministic id order.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<CpuCompletion> {
         self.integrate_to(now);
-        let mut done: Vec<u64> = self
+        // BTreeMap iteration is job-id ordered, so `done` is sorted by
+        // construction.
+        let done: Vec<u64> = self
             .jobs
             .iter()
             .filter(|(_, j)| j.remaining <= completion_eps(j.rate))
             .map(|(&id, _)| id)
             .collect();
-        done.sort_unstable();
         let mut out = Vec::with_capacity(done.len());
         for id in done {
             let j = self.jobs.remove(&id).expect("job exists");
@@ -204,6 +207,7 @@ impl CpuSim {
     }
 }
 
+// simlint: allow(unit-suffix, rate is in core-seconds per second, matching Job::rate)
 fn completion_eps(rate: f64) -> f64 {
     (rate * 2e-9).max(1e-12)
 }
@@ -304,6 +308,29 @@ mod tests {
         let t = cpu.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 2.0).abs() < 1e-6);
         assert_eq!(cpu.advance_to(t).len(), 2);
+    }
+
+    #[test]
+    fn simultaneous_completions_report_in_job_id_order() {
+        // Regression for the jobs-map migration to BTreeMap: identical
+        // jobs all finish at the same instant and must come back in
+        // submission (job-id) order — a HashMap scan iterated them in
+        // RandomState bucket order and relied on a post-hoc sort.
+        let run = || {
+            let mut cpu = CpuSim::homogeneous(4, 2, 1.0);
+            for &(node, tag) in &[(3usize, 9u64), (0, 4), (2, 7), (1, 1), (0, 0)] {
+                cpu.submit(SimTime::ZERO, node, 1.0, tag);
+            }
+            let t = cpu.next_event_time().unwrap();
+            cpu.advance_to(t)
+                .iter()
+                .map(|c| (c.node, c.tag))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // Submission order, not node order.
+        assert_eq!(a, vec![(3, 9), (0, 4), (2, 7), (1, 1), (0, 0)]);
     }
 
     #[test]

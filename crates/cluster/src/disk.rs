@@ -84,8 +84,8 @@ struct Disk {
     bg: VecDeque<Request>,
     /// The request currently in service and when it finishes.
     in_service: Option<(Request, SimTime)>,
-    bytes_read: u64,
-    bytes_written: u64,
+    read_bytes: u64,
+    written_bytes: u64,
 }
 
 impl Disk {
@@ -112,6 +112,7 @@ struct NodeCache {
 
 /// FIFO disk queues for a whole cluster, with an optional page-cache
 /// model.
+#[derive(Debug)]
 pub struct DiskSim {
     /// disks[node][k]
     disks: Vec<Vec<Disk>>,
@@ -144,8 +145,8 @@ impl DiskSim {
                             fg: VecDeque::new(),
                             bg: VecDeque::new(),
                             in_service: None,
-                            bytes_read: 0,
-                            bytes_written: 0,
+                            read_bytes: 0,
+                            written_bytes: 0,
                         })
                         .collect()
                 })
@@ -221,11 +222,11 @@ impl DiskSim {
         let disk = &mut self.disks[node][k];
         let bw = match kind {
             IoKind::Read => {
-                disk.bytes_read += bytes.as_bytes();
+                disk.read_bytes += bytes.as_bytes();
                 disk.spec.read_bw
             }
             IoKind::Write => {
-                disk.bytes_written += bytes.as_bytes();
+                disk.written_bytes += bytes.as_bytes();
                 disk.spec.write_bw
             }
         };
@@ -250,7 +251,7 @@ impl DiskSim {
             remaining -= chunk;
             let k = self.pick_disk(node);
             let disk = &mut self.disks[node][k];
-            disk.bytes_written += chunk;
+            disk.written_bytes += chunk;
             let service = SimDuration::from_secs_f64(disk.spec.seek_ms * 1e-3)
                 + disk.spec.write_bw.time_for(ByteSize::from_bytes(chunk));
             let id = self.next_id;
@@ -354,7 +355,7 @@ impl DiskSim {
                     break;
                 }
                 let req = disk.bg.pop_back().expect("checked back");
-                disk.bytes_written -= req.writeback_bytes;
+                disk.written_bytes -= req.writeback_bytes;
                 remaining -= req.writeback_bytes;
                 cancelled += req.writeback_bytes;
             }
@@ -428,13 +429,13 @@ impl DiskSim {
 
     /// Total bytes read on `node` so far.
     pub fn bytes_read(&self, node: usize) -> u64 {
-        self.disks[node].iter().map(|d| d.bytes_read).sum()
+        self.disks[node].iter().map(|d| d.read_bytes).sum()
     }
 
     /// Total bytes written on `node` so far (including background
     /// write-back that has been queued and not cancelled).
     pub fn bytes_written(&self, node: usize) -> u64 {
-        self.disks[node].iter().map(|d| d.bytes_written).sum()
+        self.disks[node].iter().map(|d| d.written_bytes).sum()
     }
 
     /// Outstanding requests on `node` (foreground + background + one in

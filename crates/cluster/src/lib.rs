@@ -6,9 +6,6 @@
 //! bundles them, with presets for the paper's Cluster A (Intel Westmere)
 //! and Cluster B (TACC Stampede).
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod cluster;
 pub mod cpu;
 pub mod disk;

@@ -9,6 +9,7 @@ use simcore::time::{SimDuration, SimTime};
 use crate::cpu::CpuSim;
 
 /// Samples per-node CPU utilization at a fixed interval.
+#[derive(Debug)]
 pub struct CpuMonitor {
     interval: SimDuration,
     next_sample: SimTime,

@@ -15,6 +15,7 @@ use crate::config::{BenchConfig, ShuffleVolume};
 use crate::{ClusterPreset, EngineKind, MicroBenchmark, ShuffleEngineKind};
 
 /// Parsed invocation.
+#[derive(Debug)]
 pub struct Cli {
     /// The run configuration.
     pub config: BenchConfig,

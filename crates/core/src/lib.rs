@@ -34,9 +34,6 @@
 //! assert!(report.job_time_secs() > 0.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod artifact;
 pub mod bench;
 pub mod calib;

@@ -130,6 +130,7 @@ macro_rules! split_env {
 
 /// Drives one job to completion over a simulated cluster and network.
 pub struct Engine<'f> {
+    // (manual Debug below — `factory` is a dyn reference)
     spec: JobSpec,
     factory: &'f dyn PartitionerFactory,
     costs: CostModel,
@@ -173,6 +174,17 @@ pub struct Engine<'f> {
     /// Phase-span recorder. Disabled by default — recording costs nothing
     /// until [`Engine::enable_tracing`] is called before `run`.
     trace: Trace,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("spec", &self.spec)
+            .field("clock", &self.clock)
+            .field("reduces_done", &self.reduces_done)
+            .field("failed", &self.failed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'f> Engine<'f> {

@@ -187,6 +187,7 @@ impl FaultPlan {
 /// hashes of `(job seed, decision label)`, so they do not depend on the
 /// order the engine asks in — a prerequisite for determinism under the
 /// event loop's data-dependent control flow.
+#[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
     seeds: SeedFactory,

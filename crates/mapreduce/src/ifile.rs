@@ -59,6 +59,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// Writes records in IFile format into an in-memory buffer.
+#[derive(Debug)]
 pub struct IFileWriter {
     buf: Vec<u8>,
     records: u64,
@@ -116,6 +117,7 @@ impl IFileWriter {
 pub type RawRecord<'a> = (&'a [u8], &'a [u8]);
 
 /// Reads records from an IFile stream produced by [`IFileWriter`].
+#[derive(Debug)]
 pub struct IFileReader<'a> {
     buf: &'a [u8],
     pos: usize,

@@ -22,9 +22,6 @@
 //! * [`engine`] — the deterministic event-loop driver; start at
 //!   [`engine::run_job`].
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod conf;
 pub mod costs;
 pub mod counters;

@@ -25,6 +25,7 @@ pub struct Launch {
 }
 
 /// Deterministic slot/container scheduler.
+#[derive(Debug)]
 pub struct Scheduler {
     kind: EngineKind,
     n_nodes: usize,

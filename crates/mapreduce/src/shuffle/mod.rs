@@ -32,6 +32,7 @@ impl MapOutput {
 }
 
 /// Registry of committed map outputs plus the per-node page-cache model.
+#[derive(Debug)]
 pub struct ShuffleRegistry {
     outputs: Vec<Option<MapOutput>>,
     node_output_bytes: Vec<u64>,

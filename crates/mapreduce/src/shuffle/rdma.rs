@@ -40,6 +40,7 @@ pub struct ShuffleModel {
     /// failed fetch. The RDMA engine detects transport errors through
     /// completion-queue events instead of HTTP timeouts, so it retries
     /// much sooner.
+    // simlint: allow(unit-suffix, dimensionless multiplier on a delay that carries its own _s suffix)
     pub retry_backoff_scale: f64,
 }
 

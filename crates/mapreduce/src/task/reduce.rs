@@ -18,7 +18,7 @@
 //! unfetchable past `fetch_max_retries`, the whole reduce attempt reports
 //! failure to the engine, exactly like a crashed attempt.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use cluster::IoKind;
 use simcore::time::{SimDuration, SimTime};
@@ -73,7 +73,9 @@ pub(crate) struct ReduceTask {
     in_flight: u32,
     fetched_maps: u32,
     next_seq: u32,
-    fetches: HashMap<u32, Fetch>,
+    // Keyed access only, but BTreeMap keeps any future iteration
+    // deterministic by construction.
+    fetches: BTreeMap<u32, Fetch>,
     mem_bytes: u64,
     spilled_bytes: u64,
     spills_outstanding: u32,
@@ -88,6 +90,10 @@ pub(crate) struct ReduceTask {
     doomed: bool,
     /// Open phase span, for tracing.
     cursor: PhaseCursor,
+    /// Bytes landed per map segment, for the shuffle byte-conservation
+    /// invariant (map bytes out == reduce bytes in, per partition).
+    #[cfg(any(test, feature = "invariants"))]
+    fetched_bytes: Vec<u64>,
 }
 
 impl ReduceTask {
@@ -120,7 +126,7 @@ impl ReduceTask {
             in_flight: 0,
             fetched_maps: 0,
             next_seq: 0,
-            fetches: HashMap::new(),
+            fetches: BTreeMap::new(),
             mem_bytes: 0,
             spilled_bytes: 0,
             spills_outstanding: 0,
@@ -130,6 +136,8 @@ impl ReduceTask {
             jitter,
             doomed,
             cursor: PhaseCursor::new("reduce", index, attempt, node, slot, env.now),
+            #[cfg(any(test, feature = "invariants"))]
+            fetched_bytes: vec![0; num_maps as usize],
         };
         env.cpu.submit(
             env.now,
@@ -434,6 +442,10 @@ impl ReduceTask {
         self.input_bytes += f.bytes;
         self.input_records += f.records;
         self.mem_bytes += f.bytes;
+        #[cfg(any(test, feature = "invariants"))]
+        {
+            self.fetched_bytes[f.map as usize] = f.bytes;
+        }
 
         let buffer =
             (env.conf.shuffle_buffer.as_bytes() as f64 * env.shuffle_model.buffer_boost) as u64;
@@ -462,6 +474,35 @@ impl ReduceTask {
             || self.spills_outstanding != 0
         {
             return;
+        }
+        // Shuffle byte conservation: what the maps advertised for this
+        // partition is exactly what landed here, segment by segment. A
+        // mismatch means a fetch was double-counted, dropped, or served
+        // from a stale registry entry.
+        #[cfg(any(test, feature = "invariants"))]
+        {
+            let landed: u64 = self.fetched_bytes.iter().sum();
+            assert!(
+                landed == self.input_bytes,
+                "invariant violated: reduce {} shuffled {} bytes but accounted {} — \
+                 per-segment and total byte accounting diverged",
+                self.index,
+                landed,
+                self.input_bytes,
+            );
+            for map in 0..self.num_maps {
+                if let Some(out) = env.registry.output(map) {
+                    let advertised = out.partition_bytes[self.index as usize];
+                    assert!(
+                        self.fetched_bytes[map as usize] == advertised,
+                        "invariant violated: reduce {} landed {} bytes of map {}'s \
+                         partition but the registry advertises {advertised}",
+                        self.index,
+                        self.fetched_bytes[map as usize],
+                        map,
+                    );
+                }
+            }
         }
         // Final merge: only the un-overlapped remainder of the spilled
         // data still needs to come back from disk.

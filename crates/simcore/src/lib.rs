@@ -13,6 +13,8 @@
 //!   integration for resource-utilization reporting.
 //! * [`json`] — a dependency-free JSON value model backing the
 //!   machine-readable benchmark artifacts.
+//! * [`order`] — total ordering for floats (`f64::total_cmp` wrappers),
+//!   the vetted alternative to `partial_cmp` sort keys.
 //! * [`trace`] — a phase-span recorder for timeline observability:
 //!   Chrome trace-event export and per-phase time breakdowns.
 //!
@@ -20,11 +22,9 @@
 //! no thread scheduling effects. A simulation driven from these primitives
 //! is a pure function of its configuration and master seed.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod event;
 pub mod json;
+pub mod order;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -33,6 +33,7 @@ pub mod units;
 
 pub use event::{EventId, EventQueue};
 pub use json::Json;
+pub use order::{total_sort, TotalF64};
 pub use rng::{JavaRandom, SeedFactory, SplitMix64, Xoshiro256pp};
 pub use stats::{Histogram, OnlineStats, RateIntegrator, Sample, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,105 @@
+//! Total ordering for floats.
+//!
+//! The simulator's `total-float-order` lint forbids `partial_cmp` on
+//! floats: NaN makes it a partial order, which either panics
+//! (`.unwrap()`) or — worse — silently yields inconsistent comparisons
+//! that corrupt a sort or wedge a heap. This module is the vetted
+//! alternative: [`TotalF64`] wraps an `f64` with `Ord` via
+//! [`f64::total_cmp`], and [`total_sort`] sorts a slice in place the
+//! same way.
+//!
+//! `total_cmp` follows the IEEE 754 `totalOrder` predicate:
+//! `-NaN < -inf < … < -0.0 < +0.0 < … < +inf < +NaN`. Every float has a
+//! place, so a poisoned value can never break comparator consistency —
+//! it sorts last (or first, if negative) instead.
+
+use std::cmp::Ordering;
+
+/// An `f64` with the IEEE 754 total order, usable as a sort or heap key.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TotalF64(pub f64);
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for TotalF64 {}
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for TotalF64 {
+    fn from(v: f64) -> Self {
+        TotalF64(v)
+    }
+}
+
+/// Sort a float slice by the total order (NaN-safe, deterministic).
+pub fn total_sort(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_places_every_value() {
+        let mut xs = vec![
+            1.0,
+            f64::NAN,
+            -0.0,
+            f64::NEG_INFINITY,
+            0.0,
+            f64::INFINITY,
+            -3.5,
+        ];
+        total_sort(&mut xs);
+        assert_eq!(xs[0], f64::NEG_INFINITY);
+        assert_eq!(xs[1], -3.5);
+        assert!(xs[2] == 0.0 && xs[2].is_sign_negative(), "-0.0 before +0.0");
+        assert!(xs[3] == 0.0 && xs[3].is_sign_positive());
+        assert_eq!(xs[4], 1.0);
+        assert_eq!(xs[5], f64::INFINITY);
+        assert!(xs[6].is_nan(), "NaN sorts last, never panics");
+    }
+
+    #[test]
+    fn wrapper_is_a_lawful_ord_key() {
+        let mut keys: Vec<TotalF64> = [2.0, f64::NAN, -1.0, 2.0]
+            .into_iter()
+            .map(TotalF64)
+            .collect();
+        keys.sort(); // requires full Ord — would not compile on raw f64
+        assert_eq!(keys[0].0, -1.0);
+        assert_eq!(keys[1].0, 2.0);
+        assert_eq!(keys[2].0, 2.0);
+        assert!(keys[3].0.is_nan());
+        // Consistent equality under the total order.
+        assert_eq!(TotalF64(f64::NAN), TotalF64(f64::NAN));
+        assert_ne!(TotalF64(-0.0), TotalF64(0.0));
+    }
+
+    #[test]
+    fn binary_heap_with_nan_key_does_not_wedge() {
+        use std::collections::BinaryHeap;
+        let mut h: BinaryHeap<TotalF64> = BinaryHeap::new();
+        for v in [0.5, f64::NAN, 3.0, -0.0] {
+            h.push(TotalF64(v));
+        }
+        // NaN is the max under totalOrder; all four values come back out.
+        assert!(h.pop().unwrap().0.is_nan());
+        assert_eq!(h.pop().unwrap().0, 3.0);
+        assert_eq!(h.pop().unwrap().0, 0.5);
+        assert_eq!(h.pop().unwrap().0, -0.0);
+        assert!(h.pop().is_none());
+    }
+}

@@ -280,6 +280,7 @@ impl TimeSeries {
 #[derive(Clone, Debug)]
 pub struct RateIntegrator {
     last_time: SimTime,
+    // simlint: allow(unit-suffix, unit-generic integrator; callers integrate bytes/s or cores)
     rate: f64,
     accumulated: f64,
 }
@@ -296,6 +297,7 @@ impl RateIntegrator {
 
     /// Change the instantaneous rate at time `now` (integrating the old
     /// rate up to `now` first).
+    // simlint: allow(unit-suffix, unit-generic integrator; callers integrate bytes/s or cores)
     pub fn set_rate(&mut self, now: SimTime, rate: f64) {
         self.advance(now);
         self.rate = rate;

@@ -76,6 +76,11 @@ pub struct Trace {
     enabled: bool,
     spans: Vec<Span>,
     marks: Vec<Mark>,
+    /// End of the last span per lane, for the nesting invariant: a
+    /// lane's spans are sequential, so each new span must start at or
+    /// after the previous one's end, and must not end before it starts.
+    #[cfg(any(test, feature = "invariants"))]
+    lane_frontier: std::collections::BTreeMap<u32, SimTime>,
 }
 
 impl Trace {
@@ -88,8 +93,7 @@ impl Trace {
     pub fn enabled() -> Trace {
         Trace {
             enabled: true,
-            spans: Vec::new(),
-            marks: Vec::new(),
+            ..Trace::default()
         }
     }
 
@@ -101,9 +105,45 @@ impl Trace {
     }
 
     /// Record a completed span. No-op when disabled.
+    ///
+    /// With the `invariants` feature (always on under `cfg(test)`),
+    /// spans are checked for per-lane nesting: a span must not end
+    /// before it starts, and must not start before the lane's previous
+    /// span ended — overlapping spans on one execution slot mean two
+    /// phases of the same attempt ran at once, which the engine's
+    /// sequential phase machine cannot produce.
     #[inline]
     pub fn span(&mut self, span: Span) {
         if self.enabled {
+            #[cfg(any(test, feature = "invariants"))]
+            {
+                assert!(
+                    span.end >= span.start,
+                    "invariant violated: {} {} attempt {} records a {:?} span ending at \
+                     {:?}, before its start {:?}",
+                    span.kind,
+                    span.index,
+                    span.attempt,
+                    span.phase,
+                    span.end,
+                    span.start,
+                );
+                if let Some(&frontier) = self.lane_frontier.get(&span.lane) {
+                    assert!(
+                        span.start >= frontier,
+                        "invariant violated: {} {} attempt {} starts a {:?} span at {:?} \
+                         on lane {}, overlapping the previous span that ended at \
+                         {frontier:?}",
+                        span.kind,
+                        span.index,
+                        span.attempt,
+                        span.phase,
+                        span.start,
+                        span.lane,
+                    );
+                }
+                self.lane_frontier.insert(span.lane, span.end);
+            }
             self.spans.push(span);
         }
     }
@@ -411,6 +451,31 @@ mod tests {
         t.mark("launch".into(), 0, 0, SimTime::ZERO);
         assert!(!t.is_enabled());
         assert!(t.spans().is_empty() && t.marks().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated")]
+    fn overlapping_spans_on_one_lane_panic() {
+        let mut t = Trace::enabled();
+        t.span(span("map", 0, 0, 10));
+        // Same lane, starts before the previous span ended.
+        t.span(span("spill", 0, 5, 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated")]
+    fn span_ending_before_it_starts_panics() {
+        let mut t = Trace::enabled();
+        t.span(span("map", 0, 10, 5));
+    }
+
+    #[test]
+    fn sequential_and_parallel_lane_spans_are_fine() {
+        let mut t = Trace::enabled();
+        t.span(span("map", 0, 0, 10));
+        t.span(span("spill", 0, 10, 12)); // back-to-back on one lane
+        t.span(span("map", 1, 3, 9)); // overlap across lanes is expected
+        assert_eq!(t.spans().len(), 3);
     }
 
     #[test]

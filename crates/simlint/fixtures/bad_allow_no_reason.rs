@@ -1,0 +1,8 @@
+// Fixture: must trip `allow-syntax` — the escape hatch requires a
+// reason; a bare allow(rule) suppresses nothing and is itself an error.
+// simlint: allow(no-unordered-iter)
+use std::collections::HashMap;
+
+fn peek(m: &HashMap<u64, u64>) -> Option<&u64> {
+    m.get(&0)
+}

@@ -1,0 +1,13 @@
+// Fixture: must trip `total-float-order` on the call site, but not on
+// the trait-impl definition below.
+fn sort_times(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+struct T(u64);
+
+impl PartialOrd for T {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.cmp(&other.0))
+    }
+}

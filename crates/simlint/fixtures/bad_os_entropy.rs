@@ -1,0 +1,5 @@
+// Fixture: must trip `no-os-entropy`.
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

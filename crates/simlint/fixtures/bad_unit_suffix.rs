@@ -1,0 +1,11 @@
+// Fixture: must trip `unit-suffix` on the field and the parameter, but
+// not on the suffixed or unit-typed members.
+struct FetchPlan {
+    fetch_latency: f64,
+    spill_bytes: u64,
+    window: SimDuration,
+}
+
+fn schedule(timeout: u64, rate_bps: f64) -> u64 {
+    timeout + rate_bps as u64
+}

@@ -1,0 +1,6 @@
+// Fixture: must trip `no-unordered-iter` on both types.
+use std::collections::{HashMap, HashSet};
+
+fn sum(m: &HashMap<u64, u64>, s: &HashSet<u64>) -> u64 {
+    m.values().sum::<u64>() + s.len() as u64
+}

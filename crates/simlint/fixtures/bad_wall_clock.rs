@@ -1,0 +1,7 @@
+// Fixture: must trip `no-wall-clock` (twice: the import and the call).
+use std::time::Instant;
+
+fn measure() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}

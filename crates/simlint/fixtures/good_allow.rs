@@ -1,0 +1,13 @@
+// Fixture: must be clean — every hazard carries a justified allow.
+// simlint: allow(no-unordered-iter, keyed access only, never iterated)
+use std::collections::HashMap;
+
+struct Cache {
+    // simlint: allow(no-unordered-iter, membership checks only)
+    seen: HashMap<u64, u64>,
+}
+
+// simlint: allow(unit-suffix, dimensionless work units, not seconds)
+fn advance(rate: f64) -> f64 {
+    rate * 2.0
+}

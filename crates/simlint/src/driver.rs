@@ -1,0 +1,277 @@
+//! The lint driver: file walking, allow-directive handling, and
+//! diagnostic rendering.
+//!
+//! The driver scans the `src/` and `tests/` trees of the deterministic
+//! crates ([`DETERMINISTIC_CRATES`]); `crates/bench` is deliberately
+//! absent — its Criterion-style benches measure the simulator with real
+//! wall clocks, which is exactly what the rules forbid inside it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Comment};
+use crate::rules::{check_tokens, is_known_rule, Diag, ALLOW_SYNTAX};
+
+/// Crates whose sources must be deterministic. `crates/bench` is the
+/// allowlisted exception (wall-clock measurement is its job).
+pub const DETERMINISTIC_CRATES: &[&str] = &["simcore", "simnet", "cluster", "mapreduce", "core"];
+
+/// A parsed `// simlint: allow(<rule>, <reason>)` directive.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Line the directive appears on. It suppresses diagnostics on this
+    /// line and the immediately following one (so it can sit above the
+    /// offending statement).
+    pub line: u32,
+    /// Rule being allowed.
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// Parse allow directives out of a file's comments. Malformed
+/// directives (unknown rule, missing reason) become [`ALLOW_SYNTAX`]
+/// diagnostics — the escape hatch itself is linted and cannot be
+/// suppressed.
+pub fn parse_allows(file: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diag>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("simlint:") {
+            rest = &rest[pos + "simlint:".len()..];
+            let body = rest.trim_start();
+            let Some(args) = body.strip_prefix("allow") else {
+                diags.push(Diag {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: ALLOW_SYNTAX,
+                    message: "simlint directive must be `allow(<rule>, <reason>)`".into(),
+                });
+                continue;
+            };
+            let args = args.trim_start();
+            let Some(open) = args.strip_prefix('(') else {
+                diags.push(Diag {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: ALLOW_SYNTAX,
+                    message: "simlint: allow needs parentheses: allow(<rule>, <reason>)".into(),
+                });
+                continue;
+            };
+            let Some(close) = open.find(')') else {
+                diags.push(Diag {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: ALLOW_SYNTAX,
+                    message: "unclosed simlint: allow(...) directive".into(),
+                });
+                continue;
+            };
+            let inner = &open[..close];
+            let (rule, reason) = match inner.split_once(',') {
+                Some((r, why)) => (r.trim(), why.trim()),
+                None => (inner.trim(), ""),
+            };
+            if !is_known_rule(rule) {
+                diags.push(Diag {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: ALLOW_SYNTAX,
+                    message: format!("unknown rule `{rule}` in simlint: allow directive"),
+                });
+            } else if reason.is_empty() {
+                diags.push(Diag {
+                    file: file.to_string(),
+                    line: c.line,
+                    rule: ALLOW_SYNTAX,
+                    message: format!(
+                        "simlint: allow({rule}) must give a reason: allow({rule}, <why this \
+                         is safe>)"
+                    ),
+                });
+            } else {
+                allows.push(Allow {
+                    line: c.line,
+                    rule: rule.to_string(),
+                    reason: reason.to_string(),
+                });
+            }
+        }
+    }
+    (allows, diags)
+}
+
+/// Lint one source string. `file` is the path used in diagnostics.
+pub fn check_source(file: &str, src: &str) -> Vec<Diag> {
+    let (toks, comments) = lex(src);
+    let (allows, mut diags) = parse_allows(file, &comments);
+    let rule_diags = check_tokens(file, &toks);
+    diags.extend(rule_diags.into_iter().filter(|d| {
+        !allows
+            .iter()
+            .any(|a| a.rule == d.rule && (d.line == a.line || d.line == a.line + 1))
+    }));
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Lint one file on disk. The diagnostic path is `file` made relative
+/// to `root` when possible.
+pub fn check_file(root: &Path, file: &Path) -> std::io::Result<Vec<Diag>> {
+    let src = fs::read_to_string(file)?;
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    Ok(check_source(&rel.display().to_string(), &src))
+}
+
+/// Collect every `*.rs` under the deterministic crates' `src/` and
+/// `tests/` trees, sorted for deterministic diagnostic order.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for krate in DETERMINISTIC_CRATES {
+        for sub in ["src", "tests"] {
+            let dir = root.join("crates").join(krate).join(sub);
+            if dir.is_dir() {
+                walk(&dir, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diag>> {
+    let mut diags = Vec::new();
+    for file in workspace_files(root)? {
+        diags.extend(check_file(root, &file)?);
+    }
+    Ok(diags)
+}
+
+/// Render diagnostics as JSON (an object with a `diagnostics` array and
+/// a `count`), via the workspace's own zero-dependency JSON layer.
+pub fn diags_to_json(diags: &[Diag]) -> String {
+    use simcore::json::Json;
+    let items: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            simcore::jobj! {
+                "file": d.file.clone(),
+                "line": u64::from(d.line),
+                "rule": d.rule,
+                "message": d.message.clone(),
+            }
+        })
+        .collect();
+    let doc = simcore::jobj! {
+        "count": diags.len(),
+        "diagnostics": items,
+    };
+    doc.to_pretty()
+}
+
+/// Render diagnostics in human `file:line: [rule] message` form.
+pub fn diags_to_text(diags: &[Diag]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            d.file, d.line, d.rule, d.message
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_suppresses_same_and_next_line() {
+        let src = "\
+// simlint: allow(no-unordered-iter, keyed access only, never iterated)
+use std::collections::HashMap;
+";
+        assert!(check_source("t.rs", src).is_empty());
+        let src =
+            "use std::collections::HashMap; // simlint: allow(no-unordered-iter, keyed only)\n";
+        assert!(check_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_rules_or_lines() {
+        let src = "\
+// simlint: allow(no-unordered-iter, justified)
+let t = Instant::now();
+";
+        let d = check_source("t.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-wall-clock");
+
+        let src = "\
+// simlint: allow(no-unordered-iter, justified)
+let a = 1;
+use std::collections::HashMap;
+";
+        let d = check_source("t.rs", src);
+        assert_eq!(d.len(), 1, "allow must only reach the next line: {d:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_diagnostic() {
+        let d = check_source("t.rs", "// simlint: allow(no-unordered-iter)\nlet x = 1;\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, ALLOW_SYNTAX);
+        assert!(d[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_a_diagnostic() {
+        let d = check_source("t.rs", "// simlint: allow(no-such-rule, because)\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, ALLOW_SYNTAX);
+        assert!(d[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn allow_syntax_cannot_self_suppress() {
+        // A malformed allow cannot be excused by another allow on the
+        // same line — allow-syntax diagnostics bypass suppression.
+        let d = check_source(
+            "t.rs",
+            "// simlint: allow(bogus-rule, x) simlint: allow(allow-syntax, hush)\n",
+        );
+        assert!(d.iter().any(|d| d.rule == ALLOW_SYNTAX), "{d:?}");
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let diags = vec![Diag {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "no-wall-clock",
+            message: "msg".into(),
+        }];
+        let json = diags_to_json(&diags);
+        let doc = simcore::json::Json::parse(&json).expect("valid json");
+        assert_eq!(doc.field_u64("count"), Ok(1));
+        let arr = doc.field_arr("diagnostics").expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].field_str("rule"), Ok("no-wall-clock"));
+        assert_eq!(arr[0].field_u64("line"), Ok(3));
+    }
+}

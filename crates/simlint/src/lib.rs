@@ -1,0 +1,39 @@
+//! `simlint` — the workspace determinism lint pass.
+//!
+//! The benchmark suite's results are only meaningful if a config+seed
+//! pair reproduces bit-identical job times (that is what
+//! `baseline_digest` pins). `simlint` turns the hand-maintained
+//! conventions behind that guarantee into an enforced static pass over
+//! the deterministic crates (`simcore`, `simnet`, `cluster`,
+//! `mapreduce`, `core`):
+//!
+//! | rule | forbids |
+//! |------|---------|
+//! | `no-wall-clock` | `Instant::now` / `SystemTime::now` / `std::time` |
+//! | `no-unordered-iter` | std `HashMap` / `HashSet` |
+//! | `no-os-entropy` | `thread_rng` / `from_entropy` / `RandomState` / `OsRng` |
+//! | `total-float-order` | `partial_cmp` calls (use `f64::total_cmp`) |
+//! | `unit-suffix` | raw-numeric time/byte/rate names without `_s`/`_bytes`/`_bps` |
+//!
+//! Run it as `cargo run -p simlint -- check` (add `--json` for
+//! machine-readable output). Justified exceptions use an inline
+//! directive that *requires* a reason:
+//!
+//! ```text
+//! // simlint: allow(no-unordered-iter, keyed access only, never iterated)
+//! ```
+//!
+//! The directive covers its own line and the next one; a missing reason
+//! or unknown rule is itself a diagnostic (`allow-syntax`) that cannot
+//! be suppressed.
+//!
+//! The scanner is a hand-rolled token lexer ([`lexer`]) rather than a
+//! full AST: the workspace carries no external dependencies by design,
+//! so `syn` is not available. Token-level matching over-approximates
+//! (e.g. any `HashMap` mention trips `no-unordered-iter`), which is the
+//! intended posture — exceptions are written down and audited via the
+//! allow directive instead of inferred.
+
+pub mod driver;
+pub mod lexer;
+pub mod rules;

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `simlint` binary: every rule's known-bad
+//! fixture must fail with the right rule id, the clean fixture must
+//! pass, the JSON output must match its schema, and the live workspace
+//! itself must be clean (the CI gate this crate exists for).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(args)
+        .output()
+        .expect("simlint binary runs")
+}
+
+fn check_fixture(name: &str, json: bool) -> Output {
+    let root = workspace_root();
+    let file = fixture(name);
+    let mut args = vec!["check", "--root", root.to_str().unwrap()];
+    if json {
+        args.push("--json");
+    }
+    args.extend(["--file", file.to_str().unwrap()]);
+    run(&args)
+}
+
+#[track_caller]
+fn assert_trips(name: &str, rule: &str) {
+    let out = check_fixture(name, false);
+    assert_eq!(out.status.code(), Some(1), "{name} must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains(&format!("[{rule}]")),
+        "{name} must report {rule}, got:\n{text}"
+    );
+    // Diagnostics carry file:line positions.
+    assert!(text.contains(".rs:"), "missing file:line in:\n{text}");
+}
+
+#[test]
+fn every_rule_fixture_fails() {
+    assert_trips("bad_wall_clock.rs", "no-wall-clock");
+    assert_trips("bad_unordered_iter.rs", "no-unordered-iter");
+    assert_trips("bad_os_entropy.rs", "no-os-entropy");
+    assert_trips("bad_float_order.rs", "total-float-order");
+    assert_trips("bad_unit_suffix.rs", "unit-suffix");
+    assert_trips("bad_allow_no_reason.rs", "allow-syntax");
+}
+
+#[test]
+fn justified_allows_are_clean() {
+    let out = check_fixture("good_allow.rs", false);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "good_allow.rs must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn float_order_fixture_spares_the_trait_impl() {
+    let out = check_fixture("bad_float_order.rs", false);
+    let text = String::from_utf8_lossy(&out.stdout);
+    let hits = text.matches("[total-float-order]").count();
+    assert_eq!(hits, 1, "only the call site, not the impl:\n{text}");
+}
+
+#[test]
+fn json_output_matches_schema() {
+    let out = check_fixture("bad_wall_clock.rs", true);
+    assert_eq!(out.status.code(), Some(1));
+    let doc = simcore::json::Json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("stdout is valid JSON");
+    let count = doc.field_u64("count").expect("count field");
+    let diags = doc.field_arr("diagnostics").expect("diagnostics field");
+    assert_eq!(count as usize, diags.len());
+    assert!(count >= 1);
+    for d in diags {
+        assert!(d.field_str("file").expect("file").ends_with(".rs"));
+        assert!(d.field_u64("line").expect("line") >= 1);
+        assert!(!d.field_str("rule").expect("rule").is_empty());
+        assert!(!d.field_str("message").expect("message").is_empty());
+    }
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = workspace_root();
+    let out = run(&["check", "--root", root.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must lint clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn rules_subcommand_lists_every_rule() {
+    let out = run(&["rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "no-wall-clock",
+        "no-unordered-iter",
+        "no-os-entropy",
+        "total-float-order",
+        "unit-suffix",
+        "allow-syntax",
+    ] {
+        assert!(text.contains(rule), "missing {rule} in:\n{text}");
+    }
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    assert_eq!(run(&[]).status.code(), Some(2));
+    assert_eq!(run(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(run(&["check", "--root"]).status.code(), Some(2));
+}

@@ -12,9 +12,6 @@
 //! * [`network`] — the event-driven flow engine.
 //! * [`monitor`] — 1 Hz per-node throughput sampling (Fig. 7(b)).
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod fairshare;
 pub mod monitor;
 pub mod network;

@@ -11,6 +11,7 @@ use crate::network::Network;
 use crate::topology::NodeId;
 
 /// Samples per-node receive/transmit throughput at a fixed interval.
+#[derive(Debug)]
 pub struct NetworkMonitor {
     interval: SimDuration,
     next_sample: SimTime,

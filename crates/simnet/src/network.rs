@@ -12,7 +12,7 @@
 //! rate, mirroring how a Hadoop reducer fetches a map output that lives on
 //! its own node.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::stats::RateIntegrator;
 use simcore::time::{SimDuration, SimTime};
@@ -43,7 +43,7 @@ struct FlowState {
     dst: NodeId,
     total: ByteSize,
     remaining: f64,
-    rate: f64,
+    rate_bps: f64,
     phase: Phase,
     tag: u64,
 }
@@ -64,9 +64,10 @@ pub struct FlowCompletion {
 }
 
 /// Flow-level network simulator over a single-switch topology.
+#[derive(Debug)]
 pub struct Network {
     topology: Topology,
-    flows: HashMap<u64, FlowState>,
+    flows: BTreeMap<u64, FlowState>,
     next_id: u64,
     clock: SimTime,
     node_tx: Vec<RateIntegrator>,
@@ -82,7 +83,7 @@ impl Network {
         let n = topology.n_nodes();
         Network {
             topology,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             next_id: 0,
             clock: SimTime::ZERO,
             node_tx: (0..n).map(|_| RateIntegrator::new(SimTime::ZERO)).collect(),
@@ -147,7 +148,7 @@ impl Network {
                 dst,
                 total: bytes,
                 remaining: bytes.as_bytes() as f64,
-                rate: 0.0,
+                rate_bps: 0.0,
                 phase: if latency.is_zero() {
                     Phase::Active
                 } else {
@@ -168,15 +169,15 @@ impl Network {
             let t = match f.phase {
                 Phase::Latent(at) => at,
                 Phase::Active => {
-                    if f.remaining <= completion_eps(f.rate) {
+                    if f.remaining <= completion_eps(f.rate_bps) {
                         self.clock
-                    } else if f.rate <= 0.0 {
+                    } else if f.rate_bps <= 0.0 {
                         continue;
                     } else {
                         // +1 ns guards against float rounding leaving a
                         // sub-byte residue at the computed instant.
                         self.clock
-                            + SimDuration::from_secs_f64(f.remaining / f.rate)
+                            + SimDuration::from_secs_f64(f.remaining / f.rate_bps)
                             + SimDuration::from_nanos(1)
                     }
                 }
@@ -206,13 +207,15 @@ impl Network {
                     }
                 }
                 Phase::Active => {
-                    if f.remaining <= completion_eps(f.rate) {
+                    if f.remaining <= completion_eps(f.rate_bps) {
                         completed.push(id);
                     }
                 }
             }
         }
-        completed.sort_unstable();
+        // BTreeMap iteration is already flow-id ordered, so `completed`
+        // is sorted by construction.
+        debug_assert!(completed.windows(2).all(|w| w[0] < w[1]));
 
         let mut out = Vec::with_capacity(completed.len());
         for id in completed {
@@ -259,7 +262,7 @@ impl Network {
         if dt > 0.0 {
             for f in self.flows.values_mut() {
                 if f.phase == Phase::Active {
-                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                    f.remaining = (f.remaining - f.rate_bps * dt).max(0.0);
                 }
             }
         }
@@ -278,14 +281,14 @@ impl Network {
         let egress = vec![nic; n];
         let ingress = vec![nic; n];
 
-        // Stable order: flow-id order, so rate assignment is deterministic.
-        let mut ids: Vec<u64> = self
+        // Stable order: BTreeMap iterates in flow-id order, so rate
+        // assignment is deterministic without an explicit sort.
+        let ids: Vec<u64> = self
             .flows
             .iter()
             .filter(|(_, f)| f.phase == Phase::Active)
             .map(|(&id, _)| id)
             .collect();
-        ids.sort_unstable();
 
         let mut net_ids = Vec::new();
         let mut specs = Vec::new();
@@ -293,8 +296,8 @@ impl Network {
             let f = &self.flows[&id];
             if f.src == f.dst {
                 // Loopback: fixed memory-copy rate.
-                let rate = self.loopback.as_bytes_per_sec();
-                self.flows.get_mut(&id).unwrap().rate = rate;
+                let rate_bps = self.loopback.as_bytes_per_sec();
+                self.flows.get_mut(&id).unwrap().rate_bps = rate_bps;
             } else {
                 net_ids.push(id);
                 specs.push(FlowSpec {
@@ -309,13 +312,13 @@ impl Network {
             &ingress,
             self.topology.fabric_cap().map(|r| r.as_bytes_per_sec()),
         );
-        for (&id, &rate) in net_ids.iter().zip(&rates) {
-            self.flows.get_mut(&id).unwrap().rate = rate;
+        for (&id, &rate_bps) in net_ids.iter().zip(&rates) {
+            self.flows.get_mut(&id).unwrap().rate_bps = rate_bps;
         }
         // Latent flows consume nothing.
         for f in self.flows.values_mut() {
             if matches!(f.phase, Phase::Latent(_)) {
-                f.rate = 0.0;
+                f.rate_bps = 0.0;
             }
         }
 
@@ -324,8 +327,8 @@ impl Network {
         let mut rx = vec![0.0; n];
         for f in self.flows.values() {
             if f.phase == Phase::Active && f.src != f.dst {
-                tx[f.src.0] += f.rate;
-                rx[f.dst.0] += f.rate;
+                tx[f.src.0] += f.rate_bps;
+                rx[f.dst.0] += f.rate_bps;
             }
         }
         let now = self.clock;
@@ -351,8 +354,8 @@ impl Network {
 
 /// Bytes of slack below which a flow counts as finished; covers nanosecond
 /// quantization of the completion instant.
-fn completion_eps(rate: f64) -> f64 {
-    (rate * 2e-9).max(1e-6)
+fn completion_eps(rate_bps: f64) -> f64 {
+    (rate_bps * 2e-9).max(1e-6)
 }
 
 #[cfg(test)]
@@ -520,6 +523,38 @@ mod tests {
             (n.now(), done.iter().map(|c| c.tag).collect::<Vec<_>>())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn simultaneous_completions_report_in_flow_id_order() {
+        // Regression for the flows-map migration to BTreeMap: identical
+        // flows all complete at the same instant, and `advance_to` must
+        // report them in flow-id order — with a HashMap the completion
+        // scan iterated in RandomState bucket order, and only a
+        // post-hoc sort hid it. Start flows in scrambled src order so
+        // insertion order != node order.
+        let run = || {
+            let mut n = net(8, Interconnect::GigE10);
+            for &s in &[5usize, 2, 7, 0, 6, 1, 4] {
+                n.start_flow(
+                    SimTime::ZERO,
+                    NodeId(s),
+                    NodeId(3),
+                    ByteSize::from_mib(10),
+                    s as u64,
+                );
+            }
+            let done = n.run_to_idle();
+            done.iter().map(|c| (c.id, c.tag)).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // Flow ids were assigned in start order, so completions come
+        // back in that order.
+        assert_eq!(
+            a.iter().map(|(_, tag)| *tag).collect::<Vec<_>>(),
+            vec![5, 2, 7, 0, 6, 1, 4]
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn main() {
                 .filter(|t| !t.is_map)
                 .map(|t| t.elapsed().as_secs_f64())
                 .collect();
-            reducer_secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            simcore::total_sort(&mut reducer_secs);
             let slowest = *reducer_secs.last().expect("has reducers");
             let fastest = *reducer_secs.first().expect("has reducers");
             println!(

@@ -4,8 +4,6 @@
 //! suite ([`mrbench`]) together with the simulator substrates it runs on.
 //! See `README.md` for a tour and `DESIGN.md` for the architecture.
 
-#![warn(missing_docs)]
-
 pub use cluster;
 pub use mapreduce;
 pub use mrbench;

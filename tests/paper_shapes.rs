@@ -121,12 +121,7 @@ fn skew_reducer_zero_is_the_straggler() {
     reducers.sort_by_key(|t| t.index);
     let slowest = reducers
         .iter()
-        .max_by(|a, b| {
-            a.elapsed()
-                .as_secs_f64()
-                .partial_cmp(&b.elapsed().as_secs_f64())
-                .expect("finite")
-        })
+        .max_by_key(|t| simcore::TotalF64(t.elapsed().as_secs_f64()))
         .expect("has reducers");
     assert_eq!(
         slowest.index, 0,
