@@ -94,7 +94,11 @@ fn run_variant(
     BenchReport { config, result }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("ablation");
     figure_header(
         "Ablation",
@@ -135,5 +139,5 @@ fn main() {
          the phase mix but keep the ordering.",
         baseline_gain.unwrap_or(f64::NAN)
     );
-    harness.finish();
+    harness.finish()
 }

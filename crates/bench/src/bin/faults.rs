@@ -22,7 +22,11 @@ fn base(bench: MicroBenchmark, shuffle: ByteSize) -> BenchConfig {
     BenchConfig::cluster_a_default(bench, Interconnect::IpoibQdr, shuffle)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("faults");
     figure_header(
         "Fault tolerance",
@@ -47,7 +51,7 @@ fn main() {
             let mut c = base(b, shuffle);
             c.faults.map_failure_prob = p;
             c.faults.reduce_failure_prob = p;
-            let r = run(&harness.prep(c)).expect("valid config");
+            let r = run(&harness.prep(c))?;
             harness.record_report(&format!("fault sweep p={p} {b}"), &r);
             if r.result.succeeded() {
                 times[bi][pi] = r.job_time_secs();
@@ -100,7 +104,8 @@ fn main() {
     // the node's map outputs are committed and mid-shuffle, so the loss
     // forces map re-execution. The fraction (rather than a fixed t)
     // keeps the crash mid-job under --quick too.
-    let clean = run(&harness.prep(base(MicroBenchmark::Avg, shuffle))).expect("valid config");
+    let clean = run(&harness.prep(base(MicroBenchmark::Avg, shuffle)))?;
+    mrbench_bench::ensure_within_budget(&clean)?;
     // Quick runs are shuffle-dominated with little tail; crash mid-shuffle
     // there so the lost node still holds work.
     let crash_frac = if harness.quick { 0.6 } else { 0.9 };
@@ -111,7 +116,7 @@ fn main() {
         node: 1,
         at_secs: crash_at,
     });
-    let crashed = run(&harness.prep(c)).expect("valid config");
+    let crashed = run(&harness.prep(c))?;
     harness.record_report("node crash — clean baseline", &clean);
     harness.record_report("node crash — slave 1 lost mid-job", &crashed);
     println!("  clean   {:>8.1} s", clean.job_time_secs());
@@ -137,10 +142,10 @@ fn main() {
             factor: 3.0,
         });
         c.speculative = speculative;
-        run(&harness.prep(c)).expect("valid config")
+        run(&harness.prep(c))
     };
-    let off = straggler(false);
-    let on = straggler(true);
+    let off = straggler(false)?;
+    let on = straggler(true)?;
     harness.record_report("straggler — speculation off", &off);
     harness.record_report("straggler — speculation on", &on);
     println!("  speculation off {:>8.1} s", off.job_time_secs());
@@ -156,5 +161,5 @@ fn main() {
         "  [{}] speculative execution launches backups and does not hurt",
         if ok { "ok      " } else { "DEVIATES" }
     );
-    harness.finish();
+    harness.finish()
 }

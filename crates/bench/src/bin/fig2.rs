@@ -14,7 +14,11 @@ use mrbench_bench::{
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("fig2");
     figure_header(
         "Figure 2",
@@ -30,15 +34,14 @@ fn main() {
             &sizes,
             &CLUSTER_A_NETWORKS,
             |shuffle, ic| BenchConfig::cluster_a_default(bench, ic, shuffle),
-        );
+        )?;
         print_improvements(&sweep);
         sweeps.push((bench, sweep));
     }
 
     if harness.quick {
         harness.note_quick();
-        harness.finish();
-        return;
+        return harness.finish();
     }
     println!("shape checks against the paper's prose:");
     let at = ByteSize::from_gib(16);
@@ -106,5 +109,5 @@ fn main() {
         small_gap,
         large_gap
     );
-    harness.finish();
+    harness.finish()
 }

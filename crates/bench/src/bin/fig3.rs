@@ -7,13 +7,17 @@
 use mrbench::calib::claims;
 use mrbench::{BenchConfig, MicroBenchmark, Sweep};
 use mrbench_bench::{
-    check_shape, figure_header, paper_sizes, print_improvements, run_panel, Harness,
+    check_shape, figure_header, paper_sizes, print_improvements, run_grid, run_panel, Harness,
     CLUSTER_A_NETWORKS,
 };
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("fig3");
     figure_header(
         "Figure 3",
@@ -29,15 +33,14 @@ fn main() {
             &sizes,
             &CLUSTER_A_NETWORKS,
             |shuffle, ic| BenchConfig::yarn_default(bench, ic, shuffle),
-        );
+        )?;
         print_improvements(&sweep);
         sweeps.push((bench, sweep));
     }
 
     if harness.quick {
         harness.note_quick();
-        harness.finish();
-        return;
+        return harness.finish();
     }
     println!("shape checks against the paper's prose:");
     let at = ByteSize::from_gib(16);
@@ -69,10 +72,9 @@ fn main() {
     // Sect. 5.2: "increasing cluster size and concurrency significantly
     // benefits average and random data distribution patterns" — compare
     // against the Fig. 2 configuration at the same shuffle size.
-    let fig2_avg = Sweep::run_grid(&[at], &[Interconnect::IpoibQdr], |s, ic| {
-        harness.prep(BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, s))
-    })
-    .unwrap();
+    let fig2_avg = run_grid(&harness, &[at], &[Interconnect::IpoibQdr], |s, ic| {
+        BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, s)
+    })?;
     let t_fig2 = fig2_avg.time(at, Interconnect::IpoibQdr).unwrap();
     let t_fig3 = avg.time(at, Interconnect::IpoibQdr).unwrap();
     println!(
@@ -85,5 +87,5 @@ fn main() {
         t_fig2,
         t_fig3
     );
-    harness.finish();
+    harness.finish()
 }

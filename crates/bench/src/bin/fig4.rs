@@ -13,7 +13,11 @@ use mrbench_bench::{
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("fig4");
     figure_header(
         "Figure 4",
@@ -36,7 +40,7 @@ fn main() {
                 c.value_size = *kv;
                 c
             },
-        );
+        )?;
         print_improvements(&sweep);
         if !harness.quick {
             at_16gb_ipoib.push(
@@ -49,8 +53,7 @@ fn main() {
 
     if harness.quick {
         harness.note_quick();
-        harness.finish();
-        return;
+        return harness.finish();
     }
     println!("shape checks against the paper's prose:");
     check_shape(
@@ -76,5 +79,5 @@ fn main() {
         at_16gb_ipoib[1],
         at_16gb_ipoib[2]
     );
-    harness.finish();
+    harness.finish()
 }

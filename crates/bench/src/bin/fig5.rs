@@ -5,7 +5,7 @@
 //! 8 maps + 4 reduces (8M-4R) over 10 GigE and IPoIB QDR.
 
 use mrbench::{BenchConfig, MicroBenchmark, ShuffleVolume, Sweep};
-use mrbench_bench::{figure_header, paper_sizes, Harness};
+use mrbench_bench::{figure_header, paper_sizes, run_panel, Harness};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
@@ -18,7 +18,11 @@ fn config(maps: u32, reduces: u32, shuffle: ByteSize, ic: Interconnect) -> Bench
     c
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("fig5");
     figure_header(
         "Figure 5",
@@ -32,20 +36,15 @@ fn main() {
     for (maps, reduces) in [(4u32, 2u32), (8, 4)] {
         let label = format!("{maps}M-{reduces}R");
         let title = format!("Fig 5 MR-AVG with {label}");
-        let sweep = Sweep::run_grid(&sizes, &networks, |shuffle, ic| {
-            harness.prep(config(maps, reduces, shuffle, ic))
-        })
-        .expect("valid config");
-        print!("{}", sweep.table(&title));
-        println!();
-        harness.record_sweep(&title, &sweep);
+        let sweep = run_panel(&mut harness, &title, &sizes, &networks, |shuffle, ic| {
+            config(maps, reduces, shuffle, ic)
+        })?;
         results.push((label, sweep));
     }
 
     if harness.quick {
         harness.note_quick();
-        harness.finish();
-        return;
+        return harness.finish();
     }
     println!("shape checks against the paper's prose:");
     let at = ByteSize::from_gib(32);
@@ -97,5 +96,5 @@ fn main() {
         help_ipoib * 100.0,
         help_10g * 100.0
     );
-    harness.finish();
+    harness.finish()
 }

@@ -6,11 +6,15 @@
 
 use mapreduce::io::DataType;
 use mrbench::{BenchConfig, MicroBenchmark, Sweep};
-use mrbench_bench::{figure_header, print_improvements, Harness, CLUSTER_A_NETWORKS};
+use mrbench_bench::{figure_header, print_improvements, run_panel, Harness, CLUSTER_A_NETWORKS};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("fig6");
     figure_header(
         "Figure 6",
@@ -23,23 +27,24 @@ fn main() {
     let mut sweeps: Vec<(DataType, Sweep)> = Vec::new();
     for (dt, panel) in DataType::ALL.into_iter().zip(["(a)", "(b)"]) {
         let title = format!("Fig 6{panel} MR-RAND with {dt}");
-        let sweep = Sweep::run_grid(&sizes, &CLUSTER_A_NETWORKS, |shuffle, ic| {
-            let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Rand, ic, shuffle);
-            c.data_type = dt;
-            harness.prep(c)
-        })
-        .expect("valid config");
-        print!("{}", sweep.table(&title));
-        println!();
+        let sweep = run_panel(
+            &mut harness,
+            &title,
+            &sizes,
+            &CLUSTER_A_NETWORKS,
+            |shuffle, ic| {
+                let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Rand, ic, shuffle);
+                c.data_type = dt;
+                c
+            },
+        )?;
         print_improvements(&sweep);
-        harness.record_sweep(&title, &sweep);
         sweeps.push((dt, sweep));
     }
 
     if harness.quick {
         harness.note_quick();
-        harness.finish();
-        return;
+        return harness.finish();
     }
     println!("shape checks against the paper's prose:");
     // "job execution time decreases around 23-25% ... 10GigE ... up to
@@ -77,5 +82,5 @@ fn main() {
     let t_b = sweeps[0].1.time(at, Interconnect::IpoibQdr).unwrap();
     let t_t = sweeps[1].1.time(at, Interconnect::IpoibQdr).unwrap();
     println!("  [info    ] 64 GB / IPoIB: BytesWritable {t_b:.1}s vs Text {t_t:.1}s");
-    harness.finish();
+    harness.finish()
 }

@@ -33,7 +33,11 @@ fn print_series(label: &str, values: &[f64], stride: usize) {
     println!();
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("fig7");
     figure_header(
         "Figure 7",
@@ -48,7 +52,8 @@ fn main() {
             ic,
             shuffle,
         ));
-        let report = run(&config).expect("valid config");
+        let report = run(&config)?;
+        mrbench_bench::ensure_within_budget(&report)?;
         harness.record_report(
             &format!("Fig 7 MR-AVG utilization — {}", ic.label()),
             &report,
@@ -75,8 +80,7 @@ fn main() {
 
     if harness.quick {
         harness.note_quick();
-        harness.finish();
-        return;
+        return harness.finish();
     }
     println!("shape checks against the paper's prose:");
     let peaks: Vec<f64> = reports
@@ -135,5 +139,5 @@ fn main() {
         rx_total_mb, expected_mb
     );
     let _ = NodeId(0); // slave ids are NodeId in the underlying API
-    harness.finish();
+    harness.finish()
 }

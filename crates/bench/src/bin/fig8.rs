@@ -7,12 +7,16 @@
 //! MapReduce (MRoIB) over native InfiniBand FDR.
 
 use mrbench::calib::claims;
-use mrbench::{BenchConfig, Sweep};
-use mrbench_bench::{check_shape, figure_header, paper_sizes, Harness};
+use mrbench::BenchConfig;
+use mrbench_bench::{check_shape, figure_header, paper_sizes, run_panel, Harness};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("fig8");
     figure_header(
         "Figure 8",
@@ -25,20 +29,15 @@ fn main() {
     let mut sweeps = Vec::new();
     for (slaves, panel) in [(8usize, "(a)"), (16, "(b)")] {
         let title = format!("Fig 8{panel} MR-AVG with {slaves} slave nodes");
-        let sweep = Sweep::run_grid(&sizes, &networks, |shuffle, ic| {
-            harness.prep(BenchConfig::cluster_b_case_study(ic, shuffle, slaves))
-        })
-        .expect("valid config");
-        print!("{}", sweep.table(&title));
-        println!();
-        harness.record_sweep(&title, &sweep);
+        let sweep = run_panel(&mut harness, &title, &sizes, &networks, |shuffle, ic| {
+            BenchConfig::cluster_b_case_study(ic, shuffle, slaves)
+        })?;
         sweeps.push((slaves, sweep));
     }
 
     if harness.quick {
         harness.note_quick();
-        harness.finish();
-        return;
+        return harness.finish();
     }
     println!("shape checks against the paper's prose:");
     let at = ByteSize::from_gib(32);
@@ -79,5 +78,5 @@ fn main() {
         "  [{}] RDMA wins at every shuffle size on both cluster scales",
         if all_positive { "ok      " } else { "DEVIATES" }
     );
-    harness.finish();
+    harness.finish()
 }

@@ -6,7 +6,7 @@
 
 use mrbench::calib::{claims, ANCHOR_IPOIB_16GB_100B_SECS, ANCHOR_IPOIB_16GB_1KB_SECS};
 use mrbench::{run, BenchConfig, MicroBenchmark, Sweep};
-use mrbench_bench::Harness;
+use mrbench_bench::{run_grid, Harness};
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
@@ -18,7 +18,11 @@ struct Row {
     unit: &'static str,
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), mrbench::Error> {
     let mut harness = Harness::from_env("summary");
     let gb16 = harness.shuffle(ByteSize::from_gib(16));
     let a_nets = [
@@ -31,14 +35,13 @@ fn main() {
 
     // Fig 2 (MRv1, Cluster A) at 16 GB.
     let cluster_a = |bench| {
-        Sweep::run_grid(&[gb16], &a_nets, |s, ic| {
-            harness.prep(BenchConfig::cluster_a_default(bench, ic, s))
+        run_grid(&harness, &[gb16], &a_nets, |s, ic| {
+            BenchConfig::cluster_a_default(bench, ic, s)
         })
-        .unwrap()
     };
-    let avg = cluster_a(MicroBenchmark::Avg);
-    let rand = cluster_a(MicroBenchmark::Rand);
-    let skew = cluster_a(MicroBenchmark::Skew);
+    let avg = cluster_a(MicroBenchmark::Avg)?;
+    let rand = cluster_a(MicroBenchmark::Rand)?;
+    let skew = cluster_a(MicroBenchmark::Skew)?;
     harness.record_sweep("Fig 2 MR-AVG (MRv1, Cluster A)", &avg);
     harness.record_sweep("Fig 2 MR-RAND (MRv1, Cluster A)", &rand);
     harness.record_sweep("Fig 2 MR-SKEW (MRv1, Cluster A)", &skew);
@@ -88,14 +91,12 @@ fn main() {
     });
 
     // Fig 3 (YARN).
-    let yavg = Sweep::run_grid(&[gb16], &a_nets, |s, ic| {
-        harness.prep(BenchConfig::yarn_default(MicroBenchmark::Avg, ic, s))
-    })
-    .unwrap();
-    let yskew = Sweep::run_grid(&[gb16], &[Interconnect::IpoibQdr], |s, ic| {
-        harness.prep(BenchConfig::yarn_default(MicroBenchmark::Skew, ic, s))
-    })
-    .unwrap();
+    let yavg = run_grid(&harness, &[gb16], &a_nets, |s, ic| {
+        BenchConfig::yarn_default(MicroBenchmark::Avg, ic, s)
+    })?;
+    let yskew = run_grid(&harness, &[gb16], &[Interconnect::IpoibQdr], |s, ic| {
+        BenchConfig::yarn_default(MicroBenchmark::Skew, ic, s)
+    })?;
     harness.record_sweep("Fig 3 MR-AVG (YARN, Cluster A)", &yavg);
     harness.record_sweep("Fig 3 MR-SKEW (YARN, Cluster A)", &yskew);
     rows.push(Row {
@@ -127,13 +128,12 @@ fn main() {
 
     // Fig 4: key/value size anchors.
     let t_1kb = avg.time(gb16, Interconnect::IpoibQdr).unwrap();
-    let small = Sweep::run_grid(&[gb16], &[Interconnect::IpoibQdr], |s, ic| {
+    let small = run_grid(&harness, &[gb16], &[Interconnect::IpoibQdr], |s, ic| {
         let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, s);
         c.key_size = 100;
         c.value_size = 100;
-        harness.prep(c)
-    })
-    .unwrap();
+        c
+    })?;
     harness.record_sweep("Fig 4 MR-AVG with 100 B k/v", &small);
     rows.push(Row {
         exp: "Fig 4(a)",
@@ -168,8 +168,8 @@ fn main() {
             MicroBenchmark::Avg,
             ic,
             gb16,
-        )))
-        .unwrap();
+        )))?;
+        mrbench_bench::ensure_within_budget(&report)?;
         harness.record_report(&format!("Fig 7 utilization — {}", ic.label()), &report);
         rows.push(Row {
             exp,
@@ -190,12 +190,12 @@ fn main() {
         (8usize, claims::RDMA_IMPROVEMENT_8SLAVES_PCT, "Fig 8(a)"),
         (16, claims::RDMA_IMPROVEMENT_16SLAVES_PCT, "Fig 8(b)"),
     ] {
-        let s = Sweep::run_grid(
+        let s = run_grid(
+            &harness,
             &[gb32],
             &[Interconnect::IpoibFdr, Interconnect::RdmaFdr],
-            |sz, ic| harness.prep(BenchConfig::cluster_b_case_study(ic, sz, slaves)),
-        )
-        .unwrap();
+            |sz, ic| BenchConfig::cluster_b_case_study(ic, sz, slaves),
+        )?;
         harness.record_sweep(&format!("Fig 8 MR-AVG, {slaves} slaves (Cluster B)"), &s);
         rows.push(Row {
             exp,
@@ -230,5 +230,5 @@ fn main() {
         println!();
         harness.note_quick();
     }
-    harness.finish();
+    harness.finish()
 }

@@ -14,8 +14,13 @@
 //! * the file contains at least one span (a trace with zero spans means
 //!   the producer never enabled tracing).
 //!
-//! Exits non-zero on the first file that fails, printing why.
+//! Exits non-zero on the first file that fails, printing why: 2 for a
+//! bad invocation, 4 when a file cannot be read, 5 when one does not
+//! parse or validate (the `mrbench::error` taxonomy).
 
+use std::path::Path;
+
+use mrbench::Error;
 use simcore::json::Json;
 
 struct Check {
@@ -26,12 +31,12 @@ struct Check {
     last_ts_us: f64,
 }
 
-fn check_file(path: &str) -> Result<Check, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+fn check_file(path: &str) -> Result<Check, Error> {
+    let text = mrbench::error::read_to_string(Path::new(path))?;
+    let doc = Json::parse(&text).map_err(|e| Error::parse(path, format!("invalid JSON: {e}")))?;
     let events = doc
         .field_arr("traceEvents")
-        .map_err(|e| format!("{path}: {e}"))?;
+        .map_err(|e| Error::parse(path, e))?;
 
     // Combined documents label their processes; single-run documents
     // implicitly have one run under pid 0.
@@ -39,10 +44,10 @@ fn check_file(path: &str) -> Result<Check, String> {
         Some(r) => {
             let arr = r
                 .as_arr()
-                .ok_or_else(|| format!("{path}: \"runs\" is not an array"))?;
+                .ok_or_else(|| Error::parse(path, "\"runs\" is not an array"))?;
             for (i, label) in arr.iter().enumerate() {
                 if label.as_str().is_none() {
-                    return Err(format!("{path}: runs[{i}] is not a string"));
+                    return Err(Error::parse(path, format!("runs[{i}] is not a string")));
                 }
             }
             arr.len()
@@ -55,7 +60,7 @@ fn check_file(path: &str) -> Result<Check, String> {
     let mut process_names = 0usize;
     let mut last_ts_us = 0.0f64;
     for (i, ev) in events.iter().enumerate() {
-        let at = |e: String| format!("{path}: traceEvents[{i}]: {e}");
+        let at = |e: String| Error::parse(format!("{path}: traceEvents[{i}]"), e);
         let ph = ev.field_str("ph").map_err(at)?;
         let pid = ev.field_u64("pid").map_err(at)?;
         if pid as usize >= runs {
@@ -93,12 +98,16 @@ fn check_file(path: &str) -> Result<Check, String> {
         }
     }
     if process_names != runs {
-        return Err(format!(
-            "{path}: {process_names} process_name records for {runs} runs"
+        return Err(Error::parse(
+            path,
+            format!("{process_names} process_name records for {runs} runs"),
         ));
     }
     if spans == 0 {
-        return Err(format!("{path}: no spans — was tracing actually enabled?"));
+        return Err(Error::parse(
+            path,
+            "no spans — was tracing actually enabled?",
+        ));
     }
     Ok(Check {
         runs,
@@ -109,26 +118,27 @@ fn check_file(path: &str) -> Result<Check, String> {
     })
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mrbench_bench::exit_code(real_main())
+}
+
+fn real_main() -> Result<(), Error> {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        eprintln!("usage: tracecheck TRACE.json [TRACE.json ...]");
-        std::process::exit(2);
+        return Err(Error::usage(
+            "usage: tracecheck TRACE.json [TRACE.json ...]",
+        ));
     }
     for path in &paths {
-        match check_file(path) {
-            Ok(c) => println!(
-                "{path}: ok — {} run(s), {} events ({} spans, {} marks), last activity at {:.3} s",
-                c.runs,
-                c.events,
-                c.spans,
-                c.marks,
-                c.last_ts_us / 1e6
-            ),
-            Err(e) => {
-                eprintln!("tracecheck: {e}");
-                std::process::exit(1);
-            }
-        }
+        let c = check_file(path)?;
+        println!(
+            "{path}: ok — {} run(s), {} events ({} spans, {} marks), last activity at {:.3} s",
+            c.runs,
+            c.events,
+            c.spans,
+            c.marks,
+            c.last_ts_us / 1e6
+        );
     }
+    Ok(())
 }

@@ -20,13 +20,30 @@
 //!   `BENCH_<name>.csv`).
 //! * `--quick` — CI smoke mode: MiB-scale shuffle sizes so the binary
 //!   finishes in seconds; paper-scale shape checks are skipped.
+//! * `--resume [DIR]` — persist every finished sweep cell in a
+//!   content-addressed result store (default `BENCH_<name>.store`) and
+//!   skip cells already there, so a killed run restarted with the same
+//!   flags picks up where it left off.
+//! * `--deadline <SECS>` — wall-clock budget for the whole binary; when
+//!   it expires the current sweep stops at a cell boundary, the panels
+//!   finished so far are flushed as a valid partial artifact, and the
+//!   process exits 7 (pair with `--resume` to continue later).
+//! * `--max-events <N>` / `--max-sim-secs <S>` — per-run watchdog
+//!   budgets forwarded to every simulated job (exit 6 on breach).
+//!
+//! Exit codes follow `mrbench::error`: 0 success, 2 usage, 3 config,
+//! 4 I/O, 5 parse, 6 budget exceeded, 7 deadline.
 
 use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
 
 use simcore::units::ByteSize;
 use simnet::Interconnect;
 
-use mrbench::{ArtifactPaths, Artifacts, BenchConfig, BenchReport, Sweep};
+use mrbench::{
+    ArtifactPaths, Artifacts, BenchConfig, BenchReport, Error, ResultStore, Sweep, SweepOptions,
+};
 
 /// Shared command-line harness for the figure binaries: flag parsing,
 /// quick-mode size substitution, and artifact collection.
@@ -40,30 +57,53 @@ pub struct Harness {
     pub trace: Option<PathBuf>,
     /// CI smoke mode: tiny shuffle sizes, paper-claim checks skipped.
     pub quick: bool,
+    /// Result-store directory from `--resume [DIR]`, if any.
+    pub resume: Option<PathBuf>,
+    /// Wall-clock budget from `--deadline <SECS>`, if any.
+    pub deadline_secs: Option<f64>,
+    /// Per-run event-count watchdog from `--max-events <N>`.
+    pub max_events: Option<u64>,
+    /// Per-run simulated-time watchdog from `--max-sim-secs <S>`.
+    pub max_sim_secs: Option<f64>,
+    /// The opened store ([`Harness::arm`]); `parse` leaves it closed so
+    /// flag parsing stays side-effect free.
+    store: Option<ResultStore>,
+    /// The armed deadline instant ([`Harness::arm`]).
+    deadline_at: Option<Instant>,
 }
 
 impl Harness {
-    /// Parse the standard flags from the process arguments, exiting with
-    /// a usage message on anything unknown.
+    /// Parse the standard flags from the process arguments and arm the
+    /// store/deadline, exiting with a usage message on anything unknown.
     pub fn from_env(name: &str) -> Harness {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        match Harness::parse(name, &args) {
+        let parsed = Harness::parse(name, &args).and_then(Harness::arm);
+        match parsed {
             Ok(h) => h,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                eprintln!(
-                    "usage: {name} [--quick] [--json [PATH]] [--csv [PATH]] [--trace [PATH]]"
-                );
-                std::process::exit(2);
+            Err(e) => {
+                eprintln!("error: {e}");
+                if matches!(e, Error::Usage(_)) {
+                    eprintln!(
+                        "usage: {name} [--quick] [--json [PATH]] [--csv [PATH]] [--trace [PATH]] \
+                         [--resume [DIR]] [--deadline SECS] [--max-events N] [--max-sim-secs S]"
+                    );
+                }
+                std::process::exit(e.exit_code().into());
             }
         }
     }
 
     /// Flag parsing behind [`Harness::from_env`], separated for tests.
-    pub fn parse(name: &str, args: &[String]) -> Result<Harness, String> {
+    /// Pure: the result store is not opened and the deadline clock not
+    /// started until [`Harness::arm`].
+    pub fn parse(name: &str, args: &[String]) -> Result<Harness, Error> {
         let mut paths = ArtifactPaths::default();
         let mut trace = None;
         let mut quick = false;
+        let mut resume = None;
+        let mut deadline_secs = None;
+        let mut max_events = None;
+        let mut max_sim_secs = None;
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -83,7 +123,44 @@ impl Harness {
                         _ => trace = Some(path),
                     }
                 }
-                other => return Err(format!("unknown argument '{other}'")),
+                "--resume" => {
+                    resume = Some(match it.peek() {
+                        Some(v) if !v.starts_with('-') => PathBuf::from(it.next().expect("peeked")),
+                        _ => PathBuf::from(format!("BENCH_{name}.store")),
+                    });
+                }
+                "--deadline" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| Error::usage("--deadline needs a value in seconds"))?;
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|e| Error::usage(format!("bad --deadline value '{v}': {e}")))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(Error::usage(format!(
+                            "--deadline must be a positive number of seconds, got '{v}'"
+                        )));
+                    }
+                    deadline_secs = Some(secs);
+                }
+                "--max-events" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| Error::usage("--max-events needs a value"))?;
+                    max_events =
+                        Some(v.replace('_', "").parse::<u64>().map_err(|e| {
+                            Error::usage(format!("bad --max-events value '{v}': {e}"))
+                        })?);
+                }
+                "--max-sim-secs" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| Error::usage("--max-sim-secs needs a value"))?;
+                    max_sim_secs = Some(v.parse::<f64>().map_err(|e| {
+                        Error::usage(format!("bad --max-sim-secs value '{v}': {e}"))
+                    })?);
+                }
+                other => return Err(Error::usage(format!("unknown argument '{other}'"))),
             }
         }
         Ok(Harness {
@@ -91,15 +168,60 @@ impl Harness {
             paths,
             trace,
             quick,
+            resume,
+            deadline_secs,
+            max_events,
+            max_sim_secs,
+            store: None,
+            deadline_at: None,
         })
     }
 
-    /// Apply the harness's run-wide switches to a config — currently
-    /// just phase tracing. Figure binaries pass every config they run
-    /// through this (panels built via [`run_panel`] get it automatically).
+    /// Open the result store and start the deadline clock. Separated
+    /// from [`Harness::parse`] so parsing stays pure for tests.
+    pub fn arm(mut self) -> Result<Harness, Error> {
+        if let Some(dir) = &self.resume {
+            self.store = Some(ResultStore::open(dir)?);
+        }
+        if let Some(secs) = self.deadline_secs {
+            self.deadline_at = Some(wall_now() + std::time::Duration::from_secs_f64(secs));
+        }
+        Ok(self)
+    }
+
+    /// Apply the harness's run-wide switches to a config: phase tracing
+    /// and the watchdog budgets. Figure binaries pass every config they
+    /// run through this (panels built via [`run_panel`] get it
+    /// automatically).
     pub fn prep(&self, mut config: BenchConfig) -> BenchConfig {
         config.trace = self.trace.is_some();
+        config.max_events = self.max_events;
+        config.max_sim_secs = self.max_sim_secs;
         config
+    }
+
+    /// `true` once the `--deadline` budget has expired.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline_at.is_some_and(|d| wall_now() >= d)
+    }
+
+    /// The opened result store, when `--resume` is active.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// Write whatever panels have been recorded so far — called when a
+    /// deadline interrupts a sweep, so the artifact on disk is valid
+    /// (schema-complete, just fewer panels) rather than absent. Flush
+    /// failures are reported but never mask the deadline error.
+    pub fn flush_partial(&self) {
+        eprintln!("deadline expired: flushing partial artifact before exit");
+        if let Err(e) = self
+            .artifacts
+            .write(self.paths.json.as_deref(), self.paths.csv.as_deref())
+        {
+            eprintln!("error: {e}");
+        }
     }
 
     /// The figure's shuffle-size axis: `full` normally, [`quick_sizes`]
@@ -139,20 +261,52 @@ impl Harness {
     }
 
     /// Write the requested artifact files, if any. Call last in `main`.
-    pub fn finish(self) {
-        if let Err(e) = self
-            .artifacts
-            .write(self.paths.json.as_deref(), self.paths.csv.as_deref())
-        {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+    pub fn finish(self) -> Result<(), Error> {
+        self.artifacts
+            .write(self.paths.json.as_deref(), self.paths.csv.as_deref())?;
         if let Some(path) = &self.trace {
-            if let Err(e) = self.artifacts.write_chrome_trace(path) {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
+            self.artifacts.write_chrome_trace(path)?;
         }
+        if let Some(store) = &self.store {
+            let (hits, misses, rejected) = store.stats();
+            eprintln!(
+                "resume: {hits} cell(s) served from {}, {misses} run fresh, \
+                 {rejected} rejected fragment(s)",
+                store.dir().display()
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The one sanctioned wall-clock read in the workspace: `--deadline`
+/// bounds *real* runtime, which simulated time cannot measure. The
+/// simulator crates stay banned from it (simlint + clippy
+/// disallowed-methods).
+#[allow(clippy::disallowed_methods)]
+fn wall_now() -> Instant {
+    Instant::now()
+}
+
+/// Map a figure binary's result to its process exit code, printing the
+/// one-line error first. Keeps every `main` to
+/// `ExitCode::from(real_main())`-shaped plumbing.
+pub fn exit_code(result: Result<(), Error>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+/// Surface a watchdog-truncated run as [`Error::Budget`] (exit 6): use
+/// after a single [`mrbench::run`] whose report is about to be trusted.
+pub fn ensure_within_budget(report: &BenchReport) -> Result<(), Error> {
+    match &report.result.budget {
+        Some(diag) => Err(Error::Budget(diag.summary())),
+        None => Ok(()),
     }
 }
 
@@ -176,24 +330,53 @@ pub const CLUSTER_A_NETWORKS: [Interconnect; 3] = [
 /// Run one panel: a (size × interconnect) grid with a config builder.
 /// The sweep is printed as the paper-style table and recorded into the
 /// harness's artifact under `title`.
+///
+/// The harness's `--resume` store and `--deadline` flow through to the
+/// grid runner: finished cells are checkpointed the moment they
+/// complete, and an expired deadline stops the sweep at a cell
+/// boundary, flushes the panels recorded so far as a valid partial
+/// artifact, and surfaces [`Error::Deadline`] (exit 7).
 pub fn run_panel(
     harness: &mut Harness,
     title: &str,
     sizes: &[ByteSize],
     networks: &[Interconnect],
     make: impl Fn(ByteSize, Interconnect) -> BenchConfig + Sync,
-) -> Sweep {
-    let traced = harness.trace.is_some();
-    let sweep = Sweep::run_grid(sizes, networks, |s, ic| {
-        let mut c = make(s, ic);
-        c.trace = traced;
-        c
-    })
-    .expect("valid panel config");
+) -> Result<Sweep, Error> {
+    let sweep = run_grid(harness, sizes, networks, make)?;
     print!("{}", sweep.table(title));
     println!();
     harness.record_sweep(title, &sweep);
-    sweep
+    Ok(sweep)
+}
+
+/// [`run_panel`] without the table printing or artifact recording, for
+/// binaries that render their own output (e.g. `summary`). Configs are
+/// still passed through [`Harness::prep`], the `--resume` store is
+/// consulted, and an expired `--deadline` flushes the panels recorded
+/// so far before surfacing [`Error::Deadline`].
+pub fn run_grid(
+    harness: &Harness,
+    sizes: &[ByteSize],
+    networks: &[Interconnect],
+    make: impl Fn(ByteSize, Interconnect) -> BenchConfig + Sync,
+) -> Result<Sweep, Error> {
+    let cancel = || harness.deadline_expired();
+    let opts = SweepOptions {
+        threads: 0,
+        store: harness.store(),
+        cancel: harness
+            .deadline_secs
+            .map(|_| &cancel as &(dyn Fn() -> bool + Sync)),
+    };
+    match Sweep::run_grid_with(sizes, networks, |s, ic| harness.prep(make(s, ic)), &opts) {
+        Ok(sweep) => Ok(sweep),
+        Err(e @ Error::Deadline { .. }) => {
+            harness.flush_partial();
+            Err(e)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// Print the improvement rows the paper's prose quotes: percentage gain
@@ -315,6 +498,77 @@ mod tests {
         assert!(h.prep(config.clone()).trace);
         let h = Harness::parse("fig2", &s(&[])).unwrap();
         assert!(!h.prep(config).trace);
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Bare --resume falls back to the conventional store directory
+        // without swallowing a following flag.
+        let h = Harness::parse("fig2", &s(&["--resume", "--quick"])).unwrap();
+        assert_eq!(h.resume, Some(PathBuf::from("BENCH_fig2.store")));
+        assert!(h.quick);
+
+        let h = Harness::parse(
+            "fig2",
+            &s(&[
+                "--resume",
+                "d",
+                "--deadline",
+                "30",
+                "--max-events",
+                "1_000",
+                "--max-sim-secs",
+                "2.5",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(h.resume, Some(PathBuf::from("d")));
+        assert_eq!(h.deadline_secs, Some(30.0));
+        assert_eq!(h.max_events, Some(1_000));
+        assert_eq!(h.max_sim_secs, Some(2.5));
+        // Parsing is pure: nothing armed yet.
+        assert!(h.store().is_none());
+        assert!(!h.deadline_expired());
+        // prep() forwards the watchdog budgets onto every config.
+        let config = mrbench::BenchConfig::cluster_a_default(
+            mrbench::MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_mib(64),
+        );
+        let p = h.prep(config);
+        assert_eq!(p.max_events, Some(1_000));
+        assert_eq!(p.max_sim_secs, Some(2.5));
+
+        for bad in [
+            &["--deadline"][..],
+            &["--deadline", "soon"],
+            &["--deadline", "-1"],
+            &["--deadline", "0"],
+            &["--max-events", "many"],
+            &["--max-sim-secs", "soon"],
+        ] {
+            let err = Harness::parse("fig2", &s(bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn armed_deadline_in_the_past_reads_expired() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // A microscopic deadline expires by the time we poll it; a
+        // generous one does not.
+        let h = Harness::parse("fig2", &s(&["--deadline", "0.000001"]))
+            .unwrap()
+            .arm()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(h.deadline_expired());
+        let h = Harness::parse("fig2", &s(&["--deadline", "3600"]))
+            .unwrap()
+            .arm()
+            .unwrap();
+        assert!(!h.deadline_expired());
     }
 
     #[test]

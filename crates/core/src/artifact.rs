@@ -27,7 +27,9 @@ use std::path::{Path, PathBuf};
 use simcore::jobj;
 use simcore::json::Json;
 
+use crate::error::Error;
 use crate::report::{BenchReport, CSV_HEADER};
+use crate::store::atomic_write;
 use crate::sweep::Sweep;
 
 /// Schema tag written into every artifact document.
@@ -122,33 +124,63 @@ impl Artifacts {
         }
     }
 
-    /// Rebuild from the [`Artifacts::to_json`] encoding.
-    pub fn from_json(json: &Json) -> Result<Self, String> {
-        let schema = json.field_str("schema")?;
+    /// Rebuild from the [`Artifacts::to_json`] encoding, validating the
+    /// `mrbench-artifact-v1` schema. Errors carry the field path where
+    /// validation failed (e.g. `panels[2] ("MR-RAND"): sweep: cells[1]:
+    /// report: missing JSON field 'config'`).
+    pub fn from_json(json: &Json) -> Result<Self, Error> {
+        let root = |e: String| Error::parse("artifact", e);
+        let schema = json.field_str("schema").map_err(root)?;
         if schema != SCHEMA {
-            return Err(format!("unsupported artifact schema '{schema}'"));
+            return Err(root(format!(
+                "unsupported artifact schema '{schema}' (expected '{SCHEMA}')"
+            )));
         }
-        let panels = json
-            .field_arr("panels")?
-            .iter()
-            .map(|p| {
-                let title = p.field_str("title")?.to_string();
-                match p.field_str("kind")? {
-                    "sweep" => Ok(Panel::Sweep {
-                        title,
-                        sweep: Sweep::from_json(p.req("sweep")?)?,
-                    }),
-                    "report" => Ok(Panel::Report {
-                        title,
-                        report: Box::new(BenchReport::from_json(p.req("report")?)?),
-                    }),
-                    other => Err(format!("unknown panel kind '{other}'")),
-                }
-            })
-            .collect::<Result<_, String>>()?;
-        Ok(Artifacts {
-            name: json.field_str("name")?.to_string(),
-            panels,
+        let name = json.field_str("name").map_err(root)?.to_string();
+        let mut panels = Vec::new();
+        for (i, p) in json.field_arr("panels").map_err(root)?.iter().enumerate() {
+            let at = |e: String| Error::parse(format!("panels[{i}]"), e);
+            let title = p.field_str("title").map_err(at)?.to_string();
+            let titled = |field: &str, e: String| {
+                Error::parse(
+                    format!("panels[{i}] (\"{title}\")"),
+                    format!("{field}: {e}"),
+                )
+            };
+            match p.field_str("kind").map_err(at)? {
+                "sweep" => panels.push(Panel::Sweep {
+                    sweep: p
+                        .req("sweep")
+                        .and_then(Sweep::from_json)
+                        .map_err(|e| titled("sweep", e))?,
+                    title,
+                }),
+                "report" => panels.push(Panel::Report {
+                    report: p
+                        .req("report")
+                        .and_then(BenchReport::from_json)
+                        .map(Box::new)
+                        .map_err(|e| titled("report", e))?,
+                    title,
+                }),
+                other => return Err(at(format!("unknown panel kind '{other}'"))),
+            }
+        }
+        Ok(Artifacts { name, panels })
+    }
+
+    /// Read and validate an artifact file, prefixing every error with
+    /// the file path.
+    pub fn load(path: &Path) -> Result<Self, Error> {
+        let text = crate::error::read_to_string(path)?;
+        let json = Json::parse(&text)
+            .map_err(|e| Error::parse(path.display().to_string(), format!("invalid JSON: {e}")))?;
+        Artifacts::from_json(&json).map_err(|e| match e {
+            Error::Parse { context, detail } => Error::Parse {
+                context: format!("{}: {context}", path.display()),
+                detail,
+            },
+            other => other,
         })
     }
 
@@ -199,9 +231,8 @@ impl Artifacts {
 
     /// Write the combined Chrome trace of every traced run, reporting
     /// the path on stdout.
-    pub fn write_chrome_trace(&self, path: &Path) -> Result<(), String> {
-        std::fs::write(path, self.to_chrome_trace().to_pretty())
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    pub fn write_chrome_trace(&self, path: &Path) -> Result<(), Error> {
+        atomic_write(path, &self.to_chrome_trace().to_pretty())?;
         println!("wrote {}", path.display());
         Ok(())
     }
@@ -229,16 +260,16 @@ impl Artifacts {
 
     /// Write the JSON and/or CSV files, reporting each path written on
     /// stdout. Empty collectors still write (an artifact with zero
-    /// panels is a valid, parseable document).
-    pub fn write(&self, json_path: Option<&Path>, csv_path: Option<&Path>) -> Result<(), String> {
+    /// panels is a valid, parseable document). Both writes are atomic
+    /// (temp + fsync + rename), so a crash mid-write can never leave a
+    /// torn artifact where a previous good one stood.
+    pub fn write(&self, json_path: Option<&Path>, csv_path: Option<&Path>) -> Result<(), Error> {
         if let Some(path) = json_path {
-            std::fs::write(path, self.to_json().to_pretty())
-                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            atomic_write(path, &self.to_json().to_pretty())?;
             println!("wrote {}", path.display());
         }
         if let Some(path) = csv_path {
-            std::fs::write(path, self.to_csv())
-                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            atomic_write(path, &self.to_csv())?;
             println!("wrote {}", path.display());
         }
         Ok(())
@@ -372,7 +403,67 @@ mod tests {
     #[test]
     fn schema_mismatch_is_rejected() {
         let doc = Json::parse(r#"{"schema": "other", "name": "x", "panels": []}"#).unwrap();
-        assert!(Artifacts::from_json(&doc).unwrap_err().contains("schema"));
+        let err = Artifacts::from_json(&doc).unwrap_err().to_string();
+        assert!(err.contains("schema") && err.contains(SCHEMA), "{err}");
+    }
+
+    #[test]
+    fn reader_errors_carry_the_field_path() {
+        // A panel with a bad kind names its index.
+        let doc = Json::parse(
+            r#"{"schema": "mrbench-artifact-v1", "name": "x", "panels": [
+                {"title": "ok?", "kind": "frob"}
+            ]}"#,
+        )
+        .unwrap();
+        let err = Artifacts::from_json(&doc).unwrap_err().to_string();
+        assert!(err.contains("panels[0]") && err.contains("frob"), "{err}");
+
+        // A structurally broken report names panel, title, and field.
+        let doc = Json::parse(
+            r#"{"schema": "mrbench-artifact-v1", "name": "x", "panels": [
+                {"title": "scenario A", "kind": "report", "report": {"config": {}}}
+            ]}"#,
+        )
+        .unwrap();
+        let err = Artifacts::from_json(&doc).unwrap_err().to_string();
+        assert!(
+            err.contains("panels[0]") && err.contains("scenario A") && err.contains("report"),
+            "{err}"
+        );
+
+        // load() prefixes the file path; missing files are Io errors.
+        let missing = Path::new("/nonexistent/BENCH_nope.json");
+        match Artifacts::load(missing) {
+            Err(Error::Io { op, .. }) => assert_eq!(op, "read"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let dir = std::env::temp_dir().join(format!("mrbench-art-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{ not json").unwrap();
+        let err = Artifacts::load(&bad).unwrap_err().to_string();
+        assert!(
+            err.contains("bad.json") && err.contains("invalid JSON"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_then_load_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("mrbench-art-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_unit.json");
+        let mut art = Artifacts::new("unit");
+        art.record_report(
+            "one run",
+            run(&tiny(ByteSize::from_mib(64), Interconnect::GigE1)).unwrap(),
+        );
+        art.write(Some(&path), None).unwrap();
+        let back = Artifacts::load(&path).unwrap();
+        assert_eq!(back.to_json().to_pretty(), art.to_json().to_pretty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

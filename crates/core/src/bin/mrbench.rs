@@ -2,80 +2,45 @@
 //!
 //! Run `mrbench --help` for the options; parsing lives in
 //! [`mrbench::cli`] so it is unit-tested with the library.
+//!
+//! Exit codes follow the taxonomy in [`mrbench::error`]: 0 success, 1
+//! job failed, 2 usage, 3 config, 4 I/O, 5 parse, 6 budget exceeded,
+//! 7 deadline.
 
 use std::process::ExitCode;
 
-use mrbench::cli::{parse_args, USAGE};
-use mrbench::{run, Artifacts, Interconnect, ShuffleEngineKind, ShuffleVolume, Sweep};
+use mrbench::cli::{parse_args, Cli, USAGE};
+use mrbench::{
+    atomic_write, run, Artifacts, Error, Interconnect, ResultStore, ShuffleEngineKind,
+    ShuffleVolume, Sweep, SweepOptions,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match parse_args(&args) {
-        Ok(cli) => cli,
-        Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}\n");
-            }
-            eprintln!("{USAGE}");
-            return if msg.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            };
+    match real_main(&args) {
+        Ok(code) => code,
+        Err(Error::Help(usage)) => {
+            print!("{usage}");
+            ExitCode::SUCCESS
         }
-    };
-
-    if cli.compare {
-        let spec = cli.config.job_spec();
-        let shuffle = spec.total_shuffle_bytes();
-        let sweep = match Sweep::run_grid(&[shuffle], &Interconnect::ALL, |_, ic| {
-            let mut c = cli.config.clone();
-            c.interconnect = ic;
-            c.shuffle_engine = if ic == Interconnect::RdmaFdr {
-                ShuffleEngineKind::Rdma
-            } else {
-                ShuffleEngineKind::Tcp
-            };
-            c.volume = ShuffleVolume::PairsPerMap(spec.pairs_per_map);
-            c
-        }) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let title = format!(
-            "{} — {} maps / {} reduces on {} slaves",
-            cli.config.benchmark, cli.config.num_maps, cli.config.num_reduces, cli.config.slaves
-        );
-        print!("{}", sweep.table(&title));
-        if !cli.artifacts.is_empty() || cli.trace.is_some() {
-            let mut artifacts = Artifacts::new("mrbench");
-            artifacts.record_sweep(&title, sweep);
-            if let Err(e) =
-                artifacts.write(cli.artifacts.json.as_deref(), cli.artifacts.csv.as_deref())
-            {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-            if let Some(path) = &cli.trace {
-                if let Err(e) = artifacts.write_chrome_trace(path) {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        return ExitCode::SUCCESS;
-    }
-
-    let report = match run(&cli.config) {
-        Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            if matches!(e, Error::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
-    };
+    }
+}
+
+fn real_main(args: &[String]) -> Result<ExitCode, Error> {
+    let cli = parse_args(args)?;
+    if cli.compare {
+        return compare(&cli);
+    }
+
+    let report = run(&cli.config)?;
     println!("{report}");
     if cli.timeline {
         // The timeline is reconstructed from the phase-span stream (the
@@ -111,25 +76,76 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &cli.trace {
         let trace = report.result.trace.as_ref().expect("--trace runs traced");
-        if let Err(e) = std::fs::write(path, trace.to_chrome_json().to_pretty())
-            .map_err(|e| format!("writing {}: {e}", path.display()))
-        {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        atomic_write(path, &trace.to_chrome_json().to_pretty())?;
         println!("wrote {}", path.display());
     }
     if !cli.artifacts.is_empty() {
         let mut artifacts = Artifacts::new("mrbench");
         artifacts.record_report(&format!("{}", cli.config.benchmark), report.clone());
-        if let Err(e) = artifacts.write(cli.artifacts.json.as_deref(), cli.artifacts.csv.as_deref())
-        {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+        artifacts.write(cli.artifacts.json.as_deref(), cli.artifacts.csv.as_deref())?;
+    }
+    if let Some(diag) = &report.result.budget {
+        // The report (and any artifacts) are already out; the exit code
+        // tells scripts the run was truncated by the watchdog.
+        return Err(Error::Budget(diag.summary()));
+    }
+    Ok(if report.result.succeeded() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `--compare`: run every interconnect at the configured shuffle volume
+/// and tabulate. With `--resume`, completed cells are persisted in a
+/// content-addressed store and skipped when the comparison restarts.
+fn compare(cli: &Cli) -> Result<ExitCode, Error> {
+    let spec = cli.config.job_spec();
+    let shuffle = spec.total_shuffle_bytes();
+    let store = match &cli.resume {
+        Some(dir) => Some(ResultStore::open(dir)?),
+        None => None,
+    };
+    let opts = SweepOptions {
+        threads: 0,
+        store: store.as_ref(),
+        cancel: None,
+    };
+    let sweep = Sweep::run_grid_with(
+        &[shuffle],
+        &Interconnect::ALL,
+        |_, ic| {
+            let mut c = cli.config.clone();
+            c.interconnect = ic;
+            c.shuffle_engine = if ic == Interconnect::RdmaFdr {
+                ShuffleEngineKind::Rdma
+            } else {
+                ShuffleEngineKind::Tcp
+            };
+            c.volume = ShuffleVolume::PairsPerMap(spec.pairs_per_map);
+            c
+        },
+        &opts,
+    )?;
+    if let Some(store) = &store {
+        let (hits, misses, rejected) = store.stats();
+        eprintln!(
+            "resume: {hits} cached, {misses} run, {rejected} rejected fragment(s) in {}",
+            store.dir().display()
+        );
+    }
+    let title = format!(
+        "{} — {} maps / {} reduces on {} slaves",
+        cli.config.benchmark, cli.config.num_maps, cli.config.num_reduces, cli.config.slaves
+    );
+    print!("{}", sweep.table(&title));
+    if !cli.artifacts.is_empty() || cli.trace.is_some() {
+        let mut artifacts = Artifacts::new("mrbench");
+        artifacts.record_sweep(&title, sweep);
+        artifacts.write(cli.artifacts.json.as_deref(), cli.artifacts.csv.as_deref())?;
+        if let Some(path) = &cli.trace {
+            artifacts.write_chrome_trace(path)?;
         }
     }
-    if !report.result.succeeded() {
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }

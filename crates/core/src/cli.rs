@@ -12,6 +12,7 @@ use simnet::Interconnect;
 
 use crate::artifact::ArtifactPaths;
 use crate::config::{BenchConfig, ShuffleVolume};
+use crate::error::Error;
 use crate::{ClusterPreset, EngineKind, MicroBenchmark, ShuffleEngineKind};
 
 /// Parsed invocation.
@@ -28,7 +29,13 @@ pub struct Cli {
     /// Chrome trace-event output requested via `--trace [PATH]`. Also
     /// enables phase tracing on the run config.
     pub trace: Option<PathBuf>,
+    /// Result-store directory for `--resume [DIR]`: completed `--compare`
+    /// cells are cached there and skipped on restart.
+    pub resume: Option<PathBuf>,
 }
+
+/// Default result-store directory for `--resume` without a path.
+pub const DEFAULT_STORE_DIR: &str = "BENCH_mrbench.store";
 
 /// Usage text for `--help`.
 pub const USAGE: &str = "\
@@ -56,6 +63,13 @@ OPTIONS:
     --rdma-shuffle                 use the RDMA (MRoIB) shuffle engine
     --zipf-exponent <S>            exponent for --bench zipf  [default: 1.0]
     --seed <N>                     master seed
+    --max-events <N>               abort the run after N simulation events
+                                   (watchdog; exit code 6 on breach)
+    --max-sim-secs <S>             abort the run past S simulated seconds
+                                   (watchdog; exit code 6 on breach)
+    --resume [DIR]                 cache completed --compare cells in a
+                                   result store and skip them on restart
+                                   [default dir: BENCH_mrbench.store]
     --timeline                     print the per-task timeline
     --json [PATH]                  also write the run as a JSON artifact
                                    [default path: BENCH_mrbench.json]
@@ -81,8 +95,9 @@ FAULT INJECTION:
     -h, --help                     show this help
 ";
 
-/// Parse `args` (without the program name). `Err("")` means "--help".
-pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+/// Parse `args` (without the program name). `--help` surfaces as
+/// [`Error::Help`] (exit 0); everything else as [`Error::Usage`].
+pub fn parse_args(args: &[String]) -> Result<Cli, Error> {
     let mut config = BenchConfig::cluster_a_default(
         MicroBenchmark::Avg,
         Interconnect::IpoibQdr,
@@ -92,6 +107,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut timeline = false;
     let mut artifacts = ArtifactPaths::default();
     let mut trace: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -111,6 +127,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 "csv" => artifacts.csv = Some(path),
                 _ => trace = Some(path),
             }
+            continue;
+        }
+        if arg == "--resume" {
+            resume = Some(match it.peek() {
+                Some(v) if !v.starts_with('-') => PathBuf::from(it.next().unwrap()),
+                _ => PathBuf::from(DEFAULT_STORE_DIR),
+            });
             continue;
         }
         let mut value = |name: &str| -> Result<&String, String> {
@@ -144,14 +167,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                 config.cluster = match value("--cluster")?.to_ascii_lowercase().as_str() {
                     "a" => ClusterPreset::ClusterA,
                     "b" => ClusterPreset::ClusterB,
-                    other => return Err(format!("unknown cluster: {other}")),
+                    other => return Err(Error::usage(format!("unknown cluster: {other}"))),
                 }
             }
             "--engine" => {
                 config.engine = match value("--engine")?.to_ascii_lowercase().as_str() {
                     "mrv1" | "1" | "hadoop1" => EngineKind::MRv1,
                     "yarn" | "2" | "hadoop2" => EngineKind::Yarn,
-                    other => return Err(format!("unknown engine: {other}")),
+                    other => return Err(Error::usage(format!("unknown engine: {other}"))),
                 }
             }
             "--rdma-shuffle" => config.shuffle_engine = ShuffleEngineKind::Rdma,
@@ -161,6 +184,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .map_err(|e| format!("bad exponent: {e}"))?
             }
             "--seed" => config.seed = parse_num(value("--seed")?)?,
+            "--max-events" => config.max_events = Some(parse_num(value("--max-events")?)?),
+            "--max-sim-secs" => {
+                config.max_sim_secs = Some(
+                    value("--max-sim-secs")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --max-sim-secs value: {e}"))?,
+                )
+            }
             "--fail-prob" => {
                 let p = parse_prob(value("--fail-prob")?)?;
                 config.faults.map_failure_prob = p;
@@ -180,8 +211,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--max-attempts" => config.max_attempts = parse_num(value("--max-attempts")?)? as u32,
             "--speculative" => config.speculative = true,
             "--timeline" => timeline = true,
-            "-h" | "--help" => return Err(String::new()),
-            other => return Err(format!("unknown option: {other}")),
+            "-h" | "--help" => return Err(Error::Help(USAGE.to_string())),
+            other => return Err(Error::usage(format!("unknown option: {other}"))),
         }
     }
     config.trace = trace.is_some() || timeline;
@@ -191,6 +222,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         timeline,
         artifacts,
         trace,
+        resume,
     })
 }
 
@@ -253,7 +285,7 @@ mod tests {
     use super::*;
     use mapreduce::io::DataType;
 
-    fn parse(args: &[&str]) -> Result<Cli, String> {
+    fn parse(args: &[&str]) -> Result<Cli, Error> {
         let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         parse_args(&v)
     }
@@ -323,13 +355,25 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert!(parse(&["--bench", "sort"]).is_err());
-        assert!(parse(&["--network", "carrier-pigeon"]).is_err());
-        assert!(parse(&["--maps"]).is_err());
-        assert!(parse(&["--maps", "four"]).is_err());
-        assert!(parse(&["--frobnicate"]).is_err());
-        // Help is Err("") by convention.
-        assert_eq!(parse(&["--help"]).err(), Some(String::new()));
+        for bad in [
+            &["--bench", "sort"][..],
+            &["--network", "carrier-pigeon"],
+            &["--maps"],
+            &["--maps", "four"],
+            &["--frobnicate"],
+            &["--max-events", "many"],
+            &["--max-sim-secs", "soon"],
+        ] {
+            match parse(bad) {
+                Err(Error::Usage(msg)) => assert!(!msg.is_empty(), "{bad:?}"),
+                other => panic!("{bad:?}: expected a usage error, got {other:?}"),
+            }
+        }
+        // Help is its own variant so binaries can exit 0 for it.
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(matches!(err, Error::Help(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 0);
+        assert_eq!(parse(&["--maps"]).unwrap_err().exit_code(), 2);
     }
 
     #[test]
@@ -421,9 +465,8 @@ mod tests {
     fn optional_value_flags_do_not_swallow_following_flags() {
         // Regression: the lookahead only rejected `--`-prefixed tokens, so
         // a single-dash flag like `-h` was swallowed as an output path.
-        assert_eq!(
-            parse(&["--json", "-h"]).err(),
-            Some(String::new()),
+        assert!(
+            matches!(parse(&["--json", "-h"]), Err(Error::Help(_))),
             "-h after --json must still reach help"
         );
         // As the final token, an optional-value flag takes its default.
@@ -474,6 +517,35 @@ mod tests {
         let cli = parse(&["--timeline"]).unwrap();
         assert!(cli.config.trace);
         assert!(cli.trace.is_none());
+    }
+
+    #[test]
+    fn budget_and_resume_flags() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.config.max_events, None);
+        assert_eq!(cli.config.max_sim_secs, None);
+        assert!(cli.resume.is_none());
+
+        let cli = parse(&["--max-events", "50_000", "--max-sim-secs", "120.5"]).unwrap();
+        assert_eq!(cli.config.max_events, Some(50_000));
+        assert_eq!(cli.config.max_sim_secs, Some(120.5));
+        cli.config.validate().unwrap();
+
+        // Bare --resume falls back to the conventional store directory,
+        // without swallowing a following flag.
+        let cli = parse(&["--resume", "--compare"]).unwrap();
+        assert_eq!(
+            cli.resume.as_deref(),
+            Some(std::path::Path::new(DEFAULT_STORE_DIR))
+        );
+        assert!(cli.compare);
+        // An explicit directory is taken, and parsing continues after it.
+        let cli = parse(&["--resume", "out/store", "--maps", "8"]).unwrap();
+        assert_eq!(
+            cli.resume.as_deref(),
+            Some(std::path::Path::new("out/store"))
+        );
+        assert_eq!(cli.config.num_maps, 8);
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub struct BenchConfig {
     /// from the JSON encoding: it selects an output, not a workload, so
     /// two configs differing only here are the same experiment.
     pub trace: bool,
+    /// Watchdog ceiling on engine events before the run aborts with
+    /// `budget-exceeded` (`--max-events`). `None` is unlimited.
+    pub max_events: Option<u64>,
+    /// Watchdog ceiling on simulated seconds (`--max-sim-secs`). `None`
+    /// is unlimited.
+    pub max_sim_secs: Option<f64>,
 }
 
 impl BenchConfig {
@@ -111,6 +117,8 @@ impl BenchConfig {
             max_attempts: 4,
             speculative: false,
             trace: false,
+            max_events: None,
+            max_sim_secs: None,
         }
     }
 
@@ -182,6 +190,8 @@ impl BenchConfig {
             faults: self.faults.clone(),
             max_attempts: self.max_attempts,
             speculative: self.speculative,
+            max_events: self.max_events,
+            max_sim_time_s: self.max_sim_secs,
             ..JobConf::default()
         };
         let mut spec = JobSpec {
@@ -272,6 +282,14 @@ impl BenchConfig {
             "faults": self.faults.to_json(),
             "max_attempts": self.max_attempts,
             "speculative": self.speculative,
+            "max_events": match self.max_events {
+                Some(n) => Json::from(n),
+                None => Json::Null,
+            },
+            "max_sim_secs": match self.max_sim_secs {
+                Some(s) => Json::from(s),
+                None => Json::Null,
+            },
         }
     }
 
@@ -314,6 +332,15 @@ impl BenchConfig {
             max_attempts: json.field_u32("max_attempts")?,
             speculative: json.field_bool("speculative")?,
             trace: false,
+            // Absent in artifacts written before the watchdog existed.
+            max_events: match json.get("max_events") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or("bad max_events")?),
+            },
+            max_sim_secs: match json.get("max_sim_secs") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or("bad max_sim_secs")?),
+            },
         })
     }
 }

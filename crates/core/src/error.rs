@@ -1,0 +1,206 @@
+//! Typed errors and the process exit-code taxonomy.
+//!
+//! Every fallible path in the benchmark suite — CLI parsing, config
+//! validation, artifact I/O, artifact parsing, watchdog budgets, sweep
+//! deadlines — funnels into [`Error`], and every binary maps the variant
+//! to a distinct documented exit code via [`Error::exit_code`]. Scripts
+//! (and the CI exit-code checks) can therefore tell "you typo'd a flag"
+//! apart from "the disk is full" apart from "the simulation ran away"
+//! without scraping stderr.
+//!
+//! | code | meaning                                             |
+//! |------|-----------------------------------------------------|
+//! | 0    | success (also `--help`)                             |
+//! | 1    | benchmark job failed (simulated job aborted)        |
+//! | 2    | usage error (bad flag or argument)                  |
+//! | 3    | invalid configuration                               |
+//! | 4    | I/O error (artifact, store, or trace file)          |
+//! | 5    | parse/validation error on an artifact or store file |
+//! | 6    | watchdog budget exceeded                            |
+//! | 7    | wall-clock deadline hit (partial artifact flushed)  |
+//!
+//! Lower crates (`simcore`, `mapreduce`) keep plain `String` errors —
+//! they never talk to the OS — and are wrapped with context at this
+//! boundary.
+
+use std::path::{Path, PathBuf};
+
+/// Any error a benchmark entry point can exit with.
+#[derive(Debug)]
+pub enum Error {
+    /// `--help` was requested: not a failure, but it unwinds argument
+    /// parsing the same way errors do. Binaries print usage and exit 0.
+    Help(String),
+    /// Bad command line (unknown flag, malformed value).
+    Usage(String),
+    /// A configuration that cannot be run.
+    Config(String),
+    /// An operating-system I/O failure, with the operation and path that
+    /// failed. The underlying [`std::io::Error`] is the source.
+    Io {
+        /// What was being attempted ("create", "write", "rename", ...).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A file that exists but does not parse or validate, with the
+    /// context (file, then JSON field path) where it went wrong.
+    Parse {
+        /// Where the bad data lives (path and/or field path).
+        context: String,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A run crossed its event or simulated-time budget; the payload is
+    /// the watchdog's one-line diagnostic summary.
+    Budget(String),
+    /// A sweep's wall-clock deadline expired. Completed cells were
+    /// persisted (and a partial artifact flushed) before this was raised.
+    Deadline {
+        /// Sweep cells finished before the deadline.
+        completed: usize,
+        /// Cells the sweep wanted in total.
+        total: usize,
+    },
+}
+
+impl Error {
+    /// Construct a [`Error::Config`] (handy with `map_err`).
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+
+    /// Construct a [`Error::Usage`].
+    pub fn usage(msg: impl Into<String>) -> Self {
+        Error::Usage(msg.into())
+    }
+
+    /// Construct a [`Error::Io`] for an operation on `path`.
+    pub fn io(op: &'static str, path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        Error::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Construct a [`Error::Parse`] with a context prefix.
+    pub fn parse(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Parse {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The documented process exit code for this error (see the module
+    /// table).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Help(_) => 0,
+            Error::Usage(_) => 2,
+            Error::Config(_) => 3,
+            Error::Io { .. } => 4,
+            Error::Parse { .. } => 5,
+            Error::Budget(_) => 6,
+            Error::Deadline { .. } => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Help(usage) => write!(f, "{usage}"),
+            Error::Usage(msg) => write!(f, "{msg}"),
+            Error::Config(msg) => write!(f, "invalid config: {msg}"),
+            Error::Io { op, path, source } => {
+                write!(f, "cannot {op} {}: {source}", path.display())
+            }
+            Error::Parse { context, detail } => write!(f, "{context}: {detail}"),
+            Error::Budget(diag) => write!(f, "budget exceeded: {diag}"),
+            Error::Deadline { completed, total } => write!(
+                f,
+                "deadline hit after {completed}/{total} cells; completed work \
+                 is persisted — rerun with --resume to continue"
+            ),
+        }
+    }
+}
+
+/// Stringly errors bubbling out of argument parsing default to
+/// [`Error::Usage`]; anything more specific constructs its variant
+/// explicitly.
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error::Usage(msg)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Read a file to a string with typed I/O context.
+pub fn read_to_string(path: &Path) -> Result<String, Error> {
+    std::fs::read_to_string(path).map_err(|e| Error::io("read", path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        let errs = [
+            Error::Usage("x".into()),
+            Error::Config("x".into()),
+            Error::io("read", "/nope", std::io::Error::other("x")),
+            Error::parse("f.json", "bad"),
+            Error::Budget("x".into()),
+            Error::Deadline {
+                completed: 1,
+                total: 2,
+            },
+        ];
+        let codes: Vec<u8> = errs.iter().map(Error::exit_code).collect();
+        assert_eq!(codes, [2, 3, 4, 5, 6, 7]);
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes must be distinct");
+        assert_eq!(Error::Help("usage".into()).exit_code(), 0);
+    }
+
+    #[test]
+    fn io_errors_chain_their_source() {
+        let e = Error::io("write", "/tmp/x", std::io::Error::other("disk on fire"));
+        assert!(e.source().is_some());
+        let msg = e.to_string();
+        assert!(msg.contains("write") && msg.contains("/tmp/x"), "{msg}");
+    }
+
+    #[test]
+    fn messages_are_one_line_and_actionable() {
+        for e in [
+            Error::usage("unknown flag '--frob'"),
+            Error::config("num_maps must be at least 1"),
+            Error::parse("BENCH_fig2.json: panels[0]", "missing JSON field 'title'"),
+            Error::Deadline {
+                completed: 3,
+                total: 12,
+            },
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.contains('\n'), "{msg}");
+            assert!(!msg.is_empty());
+        }
+    }
+}

@@ -39,19 +39,23 @@ pub mod bench;
 pub mod calib;
 pub mod cli;
 pub mod config;
+pub mod error;
 pub mod gen;
 pub mod partitioners;
 pub mod report;
 pub mod runner;
+pub mod store;
 pub mod sweep;
 
 pub use artifact::{ArtifactPaths, Artifacts, Panel};
 pub use bench::MicroBenchmark;
 pub use config::{BenchConfig, ShuffleVolume};
+pub use error::Error;
 pub use gen::KvGenerator;
 pub use report::BenchReport;
 pub use runner::run;
-pub use sweep::Sweep;
+pub use store::{atomic_write, config_digest, ResultStore};
+pub use sweep::{Sweep, SweepOptions};
 
 // Re-export the substrate names examples need.
 pub use cluster::ClusterPreset;

@@ -73,11 +73,19 @@ impl BenchReport {
         }
     }
 
-    /// Rebuild from the [`BenchReport::to_json`] encoding.
+    /// Rebuild from the [`BenchReport::to_json`] encoding. Errors are
+    /// prefixed with the sub-document (`config` / `result`) they came
+    /// from.
     pub fn from_json(json: &Json) -> Result<Self, String> {
         Ok(BenchReport {
-            config: BenchConfig::from_json(json.req("config")?)?,
-            result: JobResult::from_json(json.req("result")?)?,
+            config: json
+                .req("config")
+                .and_then(BenchConfig::from_json)
+                .map_err(|e| format!("config: {e}"))?,
+            result: json
+                .req("result")
+                .and_then(JobResult::from_json)
+                .map_err(|e| format!("result: {e}"))?,
         })
     }
 
@@ -162,12 +170,18 @@ impl Sweep {
         let cells = json
             .field_arr("cells")?
             .iter()
-            .map(|c| {
-                Ok(SweepCell {
-                    shuffle: ByteSize::from_bytes(c.field_u64("shuffle_bytes")?),
-                    interconnect: crate::cli::parse_network(c.field_str("interconnect")?)?,
-                    report: BenchReport::from_json(c.req("report")?)?,
-                })
+            .enumerate()
+            .map(|(i, c)| {
+                // Prefix the cell index so artifact-level errors pinpoint
+                // the offending grid cell.
+                (|| -> Result<SweepCell, String> {
+                    Ok(SweepCell {
+                        shuffle: ByteSize::from_bytes(c.field_u64("shuffle_bytes")?),
+                        interconnect: crate::cli::parse_network(c.field_str("interconnect")?)?,
+                        report: BenchReport::from_json(c.req("report")?)?,
+                    })
+                })()
+                .map_err(|e| format!("cells[{i}]: {e}"))
             })
             .collect::<Result<Vec<_>, String>>()?;
         if cells.len() != sizes.len() * interconnects.len() {
@@ -235,14 +249,17 @@ impl fmt::Display for BenchReport {
             f,
             "---------------------------------------------------------"
         )?;
-        match &self.result.failure {
-            None => writeln!(f, "outcome              SUCCEEDED")?,
-            Some(d) => writeln!(
+        match (&self.result.failure, &self.result.budget) {
+            (Some(d), _) => writeln!(
                 f,
                 "outcome              FAILED at {:.1} s — {}",
                 d.at.as_secs_f64(),
                 d.reason
             )?,
+            (None, Some(b)) => {
+                writeln!(f, "outcome              BUDGET EXCEEDED — {}", b.summary())?
+            }
+            (None, None) => writeln!(f, "outcome              SUCCEEDED")?,
         }
         writeln!(f, "JOB EXECUTION TIME   {:.1} s", self.job_time_secs())?;
         writeln!(

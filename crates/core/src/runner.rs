@@ -3,11 +3,12 @@
 use mapreduce::engine::Engine;
 
 use crate::config::BenchConfig;
+use crate::error::Error;
 use crate::report::BenchReport;
 
 /// Run one micro-benchmark to completion.
-pub fn run(config: &BenchConfig) -> Result<BenchReport, String> {
-    config.validate()?;
+pub fn run(config: &BenchConfig) -> Result<BenchReport, Error> {
+    config.validate().map_err(Error::Config)?;
     let spec = config.job_spec();
     let factory = config.factory();
     let mut engine = Engine::new(
@@ -117,6 +118,68 @@ mod tests {
         // Retried work never double-counts logical records.
         assert_eq!(r.result.counters.map_output_records, 40_000);
         assert_eq!(r.result.counters.reduce_input_records, 40_000);
+    }
+
+    #[test]
+    fn event_budget_truncates_gracefully_with_diagnostics() {
+        let mut c = small(MicroBenchmark::Avg, Interconnect::GigE1);
+        c.max_events = Some(50);
+        let r = run(&c).unwrap();
+        assert!(!r.result.succeeded());
+        assert_eq!(
+            r.result.outcome,
+            mapreduce::faults::JobOutcome::BudgetExceeded
+        );
+        let diag = r
+            .result
+            .budget
+            .as_ref()
+            .expect("breach carries diagnostics");
+        assert!(diag.breach.contains("event budget"), "{}", diag.breach);
+        assert_eq!(diag.events, 50);
+        assert_eq!(diag.maps_total, 4);
+        assert_eq!(diag.reduces_total, 4);
+        assert!(diag.maps_done <= 4 && diag.reduces_done <= 4);
+        // The one-line summary is what binaries print before exit 6.
+        let s = diag.summary();
+        assert!(!s.contains('\n') && s.contains("maps"), "{s}");
+        // Truncation is deterministic: same budget, same cut point.
+        let again = run(&c).unwrap();
+        assert_eq!(again.result.job_time, r.result.job_time);
+        assert_eq!(again.result.budget.as_ref().unwrap().at, diag.at);
+    }
+
+    #[test]
+    fn sim_time_budget_truncates_and_round_trips() {
+        let mut c = small(MicroBenchmark::Avg, Interconnect::GigE1);
+        let clean = run(&c).unwrap();
+        c.max_sim_secs = Some(clean.job_time_secs() / 2.0);
+        let r = run(&c).unwrap();
+        assert_eq!(
+            r.result.outcome,
+            mapreduce::faults::JobOutcome::BudgetExceeded
+        );
+        let diag = r.result.budget.as_ref().unwrap();
+        assert!(
+            diag.breach.contains("simulated-time budget"),
+            "{}",
+            diag.breach
+        );
+        // A truncated report is still a valid artifact: the budget
+        // diagnostics and outcome survive the canonical JSON round trip.
+        let text = r.to_json().to_pretty();
+        let back =
+            crate::report::BenchReport::from_json(&simcore::json::Json::parse(&text).unwrap())
+                .unwrap();
+        assert_eq!(back.to_json().to_pretty(), text);
+        assert_eq!(
+            back.result.outcome,
+            mapreduce::faults::JobOutcome::BudgetExceeded
+        );
+        assert_eq!(back.result.budget.as_ref().unwrap().events, diag.events);
+        // An unlimited run is untouched.
+        assert!(clean.result.succeeded());
+        assert!(clean.result.budget.is_none());
     }
 
     #[test]

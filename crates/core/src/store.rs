@@ -1,0 +1,272 @@
+//! Content-addressed result store and crash-safe file writes.
+//!
+//! Determinism (seeded RNG streams, integer timestamps, canonical JSON)
+//! makes every benchmark result a pure function of its [`BenchConfig`],
+//! so results are infinitely cacheable: the store keys each completed
+//! sweep cell by a digest of the config's canonical JSON and persists it
+//! as a small `mrbench-cell-v1` fragment. A killed sweep restarted with
+//! `--resume` reloads finished cells from the store and re-runs only the
+//! rest, producing a byte-identical final artifact.
+//!
+//! Layout: one file per cell, `<dir>/<32-hex-digest>.json`. Fragments
+//! are written via [`atomic_write`] (temp file in the destination
+//! directory + fsync + rename), so a crash at any instant leaves either
+//! the old bytes, the new bytes, or a stray `.tmp` file — never a torn
+//! fragment. Reads treat anything unreadable, unparsable, or
+//! mis-digested as a cache miss: corruption costs a re-run, not a wrong
+//! answer.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use simcore::jobj;
+use simcore::json::Json;
+
+use crate::config::BenchConfig;
+use crate::error::Error;
+use crate::report::BenchReport;
+
+/// Schema tag of one persisted cell fragment.
+pub const FRAGMENT_SCHEMA: &str = "mrbench-cell-v1";
+
+/// Write `contents` to `path` crash-safely: the bytes land in a temp
+/// file in the destination directory, are fsynced, and are renamed over
+/// `path` in one atomic step. Readers never observe a half-written file.
+pub fn atomic_write(path: &Path, contents: &str) -> Result<(), Error> {
+    use std::io::Write;
+
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        Error::io(
+            "write",
+            path,
+            std::io::Error::other("path has no file name"),
+        )
+    })?;
+    // Unique per process so concurrent writers (or a crashed predecessor's
+    // leftovers) cannot collide; the final rename is what publishes.
+    let tmp_name = format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    let mut f = std::fs::File::create(&tmp).map_err(|e| Error::io("create", &tmp, e))?;
+    f.write_all(contents.as_bytes())
+        .map_err(|e| Error::io("write", &tmp, e))?;
+    // Flush to the platters before publishing the name, so a crash after
+    // the rename cannot expose an empty or partial file.
+    f.sync_all().map_err(|e| Error::io("sync", &tmp, e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| Error::io("rename", &tmp, e))?;
+    Ok(())
+}
+
+/// Digest of a config's canonical JSON: the cache key under which its
+/// result is stored. 128-bit FNV-1a, rendered as 32 hex digits — not
+/// cryptographic, but collision-safe for the suite's config space and
+/// dependency-free.
+pub fn config_digest(config: &BenchConfig) -> String {
+    fnv1a_128(config.to_json().to_compact().as_bytes())
+}
+
+/// 128-bit FNV-1a over `bytes`, as lowercase hex.
+pub fn fnv1a_128(bytes: &[u8]) -> String {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:032x}")
+}
+
+/// A directory of digest-keyed result fragments. Shared across sweep
+/// worker threads (`&self` everywhere, atomic counters), and across
+/// *processes* too: the atomic-rename publish step makes concurrent
+/// writers of the same digest last-writer-wins with no torn state.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, Error> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| Error::io("create", &dir, e))?;
+        Ok(ResultStore {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the fragment for `digest`.
+    pub fn fragment_path(&self, digest: &str) -> PathBuf {
+        self.dir.join(format!("{digest}.json"))
+    }
+
+    /// Look up a cached report. Missing, torn, corrupt, or mis-keyed
+    /// fragments all read as a miss (`None`) — the cell simply re-runs.
+    pub fn get(&self, digest: &str) -> Option<BenchReport> {
+        let path = self.fragment_path(digest);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match Self::parse_fragment(&text, digest) {
+            Ok(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report)
+            }
+            Err(_) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn parse_fragment(text: &str, digest: &str) -> Result<BenchReport, String> {
+        let json = Json::parse(text)?;
+        let schema = json.field_str("schema")?;
+        if schema != FRAGMENT_SCHEMA {
+            return Err(format!("unknown fragment schema '{schema}'"));
+        }
+        let stored = json.field_str("digest")?;
+        if stored != digest {
+            return Err(format!("fragment digest '{stored}' does not match key"));
+        }
+        BenchReport::from_json(json.req("report")?)
+    }
+
+    /// Persist `report` under `digest`, atomically.
+    pub fn put(&self, digest: &str, report: &BenchReport) -> Result<(), Error> {
+        let fragment = jobj! {
+            "schema": FRAGMENT_SCHEMA,
+            "digest": digest,
+            "report": report.to_json(),
+        };
+        atomic_write(&self.fragment_path(digest), &fragment.to_pretty())
+    }
+
+    /// `(hits, misses, rejected)` counters for this store handle.
+    /// "Rejected" counts fragments that existed but failed validation.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::MicroBenchmark;
+    use simcore::units::ByteSize;
+    use simnet::Interconnect;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mrbench-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config() -> BenchConfig {
+        let mut c = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_mib(64),
+        );
+        c.num_maps = 4;
+        c.num_reduces = 2;
+        c.slaves = 2;
+        c
+    }
+
+    #[test]
+    fn digest_is_stable_and_config_sensitive() {
+        let a = config_digest(&small_config());
+        assert_eq!(a, config_digest(&small_config()), "deterministic");
+        assert_eq!(a.len(), 32);
+        let mut other = small_config();
+        other.seed += 1;
+        assert_ne!(a, config_digest(&other), "seed must change the key");
+        let mut other = small_config();
+        other.interconnect = Interconnect::RdmaFdr;
+        assert_ne!(a, config_digest(&other));
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a 128 test vectors.
+        assert_eq!(fnv1a_128(b""), "6c62272e07bb014262b821756295c58d");
+        assert_eq!(fnv1a_128(b"a"), "d228cb696f1a8caf78912b704e4a8964");
+    }
+
+    #[test]
+    fn put_get_round_trip_and_miss_cases() {
+        let dir = tmp_dir("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        let config = small_config();
+        let digest = config_digest(&config);
+        assert!(store.get(&digest).is_none(), "empty store misses");
+
+        let report = crate::runner::run(&config).unwrap();
+        store.put(&digest, &report).unwrap();
+        let back = store.get(&digest).expect("hit after put");
+        assert_eq!(
+            back.to_json().to_compact(),
+            report.to_json().to_compact(),
+            "cached report is byte-identical"
+        );
+        assert_eq!(store.stats(), (1, 1, 0));
+
+        // Corrupt fragments read as misses, not errors.
+        std::fs::write(store.fragment_path(&digest), "{ torn").unwrap();
+        assert!(store.get(&digest).is_none());
+        // A fragment stored under the wrong key is rejected too.
+        store.put(&digest, &report).unwrap();
+        std::fs::rename(
+            store.fragment_path(&digest),
+            store.fragment_path("0000000000000000000000000000beef"),
+        )
+        .unwrap();
+        assert!(store.get("0000000000000000000000000000beef").is_none());
+        let (_, _, rejected) = store.stats();
+        assert_eq!(rejected, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = tmp_dir("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        atomic_write(&path, "first").unwrap();
+        atomic_write(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["out.json"], "no temp files linger");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,8 +17,57 @@ use simnet::Interconnect;
 
 use crate::bench::MicroBenchmark;
 use crate::config::BenchConfig;
+use crate::error::Error;
 use crate::report::BenchReport;
 use crate::runner::run;
+use crate::store::{config_digest, ResultStore};
+
+/// Knobs for [`Sweep::run_grid_with`].
+#[derive(Clone, Copy, Default)]
+pub struct SweepOptions<'a> {
+    /// Worker threads; `0` means auto ([`std::thread::available_parallelism`],
+    /// overridden by `MRBENCH_THREADS`).
+    pub threads: usize,
+    /// Consult (and fill) this content-addressed store: cells whose
+    /// config digest already has a fragment are loaded instead of run,
+    /// and freshly run cells are persisted the moment they finish — the
+    /// checkpointing that makes a killed sweep resumable.
+    pub store: Option<&'a ResultStore>,
+    /// Cooperative cancellation, polled between cells. When it returns
+    /// true, no new cells start and the sweep fails with
+    /// [`Error::Deadline`]; completed cells are already in the store.
+    pub cancel: Option<&'a (dyn Fn() -> bool + Sync)>,
+}
+
+impl std::fmt::Debug for SweepOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("threads", &self.threads)
+            .field("store", &self.store.map(|s| s.dir().to_path_buf()))
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+/// Run one cell, going through the store when one is configured. Traced
+/// configs bypass the cache: fragments do not persist span streams, so a
+/// cache hit would silently drop the trace the caller asked for.
+fn run_cell(config: &BenchConfig, store: Option<&ResultStore>) -> Result<BenchReport, Error> {
+    let digest = match store {
+        Some(_) if !config.trace => Some(config_digest(config)),
+        _ => None,
+    };
+    if let (Some(store), Some(d)) = (store, &digest) {
+        if let Some(report) = store.get(d) {
+            return Ok(report);
+        }
+    }
+    let report = run(config)?;
+    if let (Some(store), Some(d)) = (store, &digest) {
+        store.put(d, &report)?;
+    }
+    Ok(report)
+}
 
 /// One cell of a sweep: a configuration and its result.
 #[derive(Clone, Debug)]
@@ -68,8 +117,8 @@ impl Sweep {
         sizes: &[ByteSize],
         interconnects: &[Interconnect],
         make: impl Fn(ByteSize, Interconnect) -> BenchConfig + Sync,
-    ) -> Result<Sweep, String> {
-        Sweep::run_grid_with_threads(sizes, interconnects, make, worker_threads())
+    ) -> Result<Sweep, Error> {
+        Sweep::run_grid_with(sizes, interconnects, make, &SweepOptions::default())
     }
 
     /// [`Sweep::run_grid`] with an explicit worker count.
@@ -78,38 +127,79 @@ impl Sweep {
         interconnects: &[Interconnect],
         make: impl Fn(ByteSize, Interconnect) -> BenchConfig + Sync,
         threads: usize,
-    ) -> Result<Sweep, String> {
+    ) -> Result<Sweep, Error> {
+        let opts = SweepOptions {
+            threads,
+            ..SweepOptions::default()
+        };
+        Sweep::run_grid_with(sizes, interconnects, make, &opts)
+    }
+
+    /// The fully-optioned grid runner: worker threads, an optional
+    /// content-addressed [`ResultStore`] for crash-safe resume, and an
+    /// optional cancellation hook (the bench harness wires a wall-clock
+    /// deadline through it).
+    pub fn run_grid_with(
+        sizes: &[ByteSize],
+        interconnects: &[Interconnect],
+        make: impl Fn(ByteSize, Interconnect) -> BenchConfig + Sync,
+        opts: &SweepOptions<'_>,
+    ) -> Result<Sweep, Error> {
         let pairs: Vec<(ByteSize, Interconnect)> = sizes
             .iter()
             .flat_map(|&s| interconnects.iter().map(move |&ic| (s, ic)))
             .collect();
+        let threads = if opts.threads == 0 {
+            worker_threads()
+        } else {
+            opts.threads
+        };
         let workers = threads.clamp(1, pairs.len().max(1));
-        if workers == 1 {
-            return Sweep::run_grid_serial(sizes, interconnects, make);
-        }
+        let cancelled = || opts.cancel.is_some_and(|c| c());
 
         // Work-stealing over a shared cell index; finished cells are
-        // written back into their row-major slot.
+        // written back into their row-major slot. `workers == 1` runs the
+        // same claim loop on the calling thread, so the store and cancel
+        // semantics are identical at every thread count.
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<Result<BenchReport, String>>>> = {
+        let slots: Mutex<Vec<Option<Result<BenchReport, Error>>>> = {
             let mut v = Vec::new();
             v.resize_with(pairs.len(), || None);
             Mutex::new(v)
         };
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(shuffle, ic)) = pairs.get(i) else {
-                        break;
-                    };
-                    let outcome = run(&make(shuffle, ic));
-                    slots.lock().unwrap()[i] = Some(outcome);
-                });
+        let work = || loop {
+            // Poll cancellation before claiming, so an expired deadline
+            // stops the sweep at a cell boundary with everything finished
+            // so far already persisted.
+            if cancelled() {
+                break;
             }
-        });
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&(shuffle, ic)) = pairs.get(i) else {
+                break;
+            };
+            let outcome = run_cell(&make(shuffle, ic), opts.store);
+            slots.lock().unwrap()[i] = Some(outcome);
+        };
+        if workers == 1 {
+            work();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(work);
+                }
+            });
+        }
 
         let slots = slots.into_inner().unwrap();
+        let completed = slots.iter().filter(|s| s.is_some()).count();
+        if completed < pairs.len() {
+            // Only cancellation leaves unclaimed slots.
+            return Err(Error::Deadline {
+                completed,
+                total: pairs.len(),
+            });
+        }
         let mut cells = Vec::with_capacity(pairs.len());
         for ((shuffle, interconnect), slot) in pairs.into_iter().zip(slots) {
             // Errors surface in row-major order, matching the serial path.
@@ -133,7 +223,7 @@ impl Sweep {
         sizes: &[ByteSize],
         interconnects: &[Interconnect],
         make: impl Fn(ByteSize, Interconnect) -> BenchConfig,
-    ) -> Result<Sweep, String> {
+    ) -> Result<Sweep, Error> {
         let mut cells = Vec::with_capacity(sizes.len() * interconnects.len());
         for &shuffle in sizes {
             for &ic in interconnects {
@@ -157,7 +247,7 @@ impl Sweep {
         benchmark: MicroBenchmark,
         sizes: &[ByteSize],
         interconnects: &[Interconnect],
-    ) -> Result<Sweep, String> {
+    ) -> Result<Sweep, Error> {
         Sweep::run_grid(sizes, interconnects, |shuffle, ic| {
             BenchConfig::cluster_a_default(benchmark, ic, shuffle)
         })
@@ -314,6 +404,49 @@ mod tests {
             sweep.time(ByteSize::from_mib(999), Interconnect::GigE1),
             None
         );
+    }
+
+    #[test]
+    fn store_backed_grid_hits_the_cache_and_stays_identical() {
+        let dir = std::env::temp_dir().join(format!("mrbench-sweep-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let sizes = [ByteSize::from_mib(64)];
+        let ics = [Interconnect::GigE1, Interconnect::IpoibQdr];
+        let opts = SweepOptions {
+            threads: 1,
+            store: Some(&store),
+            cancel: None,
+        };
+        let first = Sweep::run_grid_with(&sizes, &ics, tiny, &opts).unwrap();
+        assert_eq!(store.stats().0, 0, "cold store has no hits");
+        let second = Sweep::run_grid_with(&sizes, &ics, tiny, &opts).unwrap();
+        assert_eq!(store.stats().0, 2, "warm store serves every cell");
+        for (a, b) in first.cells.iter().zip(&second.cells) {
+            assert_eq!(
+                a.report.to_json().to_compact(),
+                b.report.to_json().to_compact()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_a_deadline_error() {
+        let sizes = [ByteSize::from_mib(64)];
+        let ics = [Interconnect::GigE1, Interconnect::IpoibQdr];
+        let cancel = || true; // already expired
+        let opts = SweepOptions {
+            threads: 1,
+            store: None,
+            cancel: Some(&cancel),
+        };
+        match Sweep::run_grid_with(&sizes, &ics, tiny, &opts) {
+            Err(Error::Deadline { completed, total }) => {
+                assert_eq!((completed, total), (0, 2));
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
     }
 
     #[test]

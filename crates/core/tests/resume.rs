@@ -1,0 +1,149 @@
+//! Crash/resume determinism for store-backed sweeps.
+//!
+//! A sweep killed partway through leaves behind a result store with
+//! some fragments complete, possibly a half-written temp file, and
+//! possibly a corrupt fragment. Restarting against that store must
+//! produce an artifact byte-identical to a one-shot run — at one
+//! worker and at several — with the surviving fragments reused rather
+//! than recomputed.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mrbench::{
+    Artifacts, BenchConfig, Interconnect, MicroBenchmark, ResultStore, Sweep, SweepOptions,
+};
+use simcore::units::ByteSize;
+
+const SIZES: [ByteSize; 3] = [
+    ByteSize::from_mib(128),
+    ByteSize::from_mib(256),
+    ByteSize::from_mib(512),
+];
+const NETS: [Interconnect; 2] = [Interconnect::GigE1, Interconnect::IpoibQdr];
+
+fn make(size: ByteSize, ic: Interconnect) -> BenchConfig {
+    let mut c = BenchConfig::cluster_a_default(MicroBenchmark::Avg, ic, size);
+    c.slaves = 2;
+    c.num_maps = 4;
+    c.num_reduces = 4;
+    c
+}
+
+/// A scratch directory unique to this test invocation; tests share a
+/// process, so the test name goes into the path too.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mrbench-resume-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Render the sweep exactly the way the binaries persist it, so
+/// "byte-identical artifact" means the actual bytes on disk.
+fn artifact_bytes(sweep: Sweep) -> String {
+    let mut artifacts = Artifacts::new("resume-test");
+    artifacts.record_sweep("panel", sweep);
+    artifacts.to_json().to_pretty()
+}
+
+fn run_with(store: Option<&ResultStore>, threads: usize) -> Sweep {
+    let opts = SweepOptions {
+        threads,
+        store,
+        cancel: None,
+    };
+    Sweep::run_grid_with(&SIZES, &NETS, make, &opts).expect("sweep completes")
+}
+
+/// Simulate the crash: keep the first `keep` fragments (sorted order),
+/// truncate the next one mid-document, delete the rest, and plant a
+/// torn temp file from an interrupted atomic write.
+fn wreck_store(dir: &PathBuf, keep: usize) {
+    let mut fragments: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("store dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    fragments.sort();
+    assert!(
+        fragments.len() > keep + 1,
+        "need more than {} fragments, found {}",
+        keep + 1,
+        fragments.len()
+    );
+    let mut doomed = fragments.split_off(keep);
+    // A fragment torn *after* rename (e.g. disk truncation) keeps its
+    // valid digest name but fails validation — it must be rejected and
+    // recomputed, not trusted and not fatal.
+    let torn = doomed.remove(0);
+    let text = fs::read_to_string(&torn).expect("read fragment");
+    fs::write(&torn, &text[..text.len() / 2]).expect("truncate fragment");
+    for victim in doomed {
+        fs::remove_file(victim).expect("delete fragment");
+    }
+    // A crash mid-atomic-write leaves a temp file behind; it must be
+    // invisible to the resumed run (atomic writes only count renamed
+    // files as committed).
+    fs::write(dir.join("deadbeef.json.tmp"), "{\"schema\": \"mrbe").expect("plant temp file");
+}
+
+fn crash_then_resume(threads: usize) {
+    let tag = format!("t{threads}");
+    let dir = scratch(&tag);
+
+    // One-shot reference run, no store involved at all.
+    let reference = artifact_bytes(run_with(None, threads));
+
+    // First attempt fills the store, then "crashes": one fragment is
+    // torn mid-document, the rest beyond the second are lost, and an
+    // interrupted atomic write leaves a temp file behind.
+    let store = ResultStore::open(&dir).expect("open store");
+    run_with(Some(&store), threads);
+    drop(store);
+    wreck_store(&dir, 2);
+
+    // Resume: surviving cells come from the cache, the rest recompute.
+    let store = ResultStore::open(&dir).expect("reopen store");
+    let resumed = artifact_bytes(run_with(Some(&store), threads));
+    let (hits, misses, rejected) = store.stats();
+    assert_eq!(hits, 2, "exactly the surviving fragments are reused");
+    assert_eq!(rejected, 1, "the torn fragment must be rejected");
+    assert_eq!(misses, (SIZES.len() * NETS.len()) as u64 - 3);
+
+    assert_eq!(
+        resumed, reference,
+        "resumed artifact must be byte-identical to a one-shot run (threads={threads})"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_and_resume_is_byte_identical_serial() {
+    crash_then_resume(1);
+}
+
+#[test]
+fn crash_and_resume_is_byte_identical_parallel() {
+    crash_then_resume(4);
+}
+
+/// A second run against an intact store is a pure cache replay: every
+/// cell hits, nothing is recomputed, and the artifact doesn't move.
+#[test]
+fn warm_store_replays_identically() {
+    let dir = scratch("warm");
+    let store = ResultStore::open(&dir).expect("open store");
+    let first = artifact_bytes(run_with(Some(&store), 1));
+    drop(store);
+
+    let store = ResultStore::open(&dir).expect("reopen store");
+    let second = artifact_bytes(run_with(Some(&store), 1));
+    let (hits, misses, rejected) = store.stats();
+    assert_eq!(hits, (SIZES.len() * NETS.len()) as u64);
+    assert_eq!(misses, 0);
+    assert_eq!(rejected, 0);
+    assert_eq!(first, second);
+
+    let _ = fs::remove_dir_all(&dir);
+}

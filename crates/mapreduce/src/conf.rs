@@ -99,6 +99,12 @@ pub struct JobConf {
     /// A node is blacklisted after this many failed task attempts
     /// (`mapred.max.tracker.failures`).
     pub node_blacklist_threshold: u32,
+    /// Watchdog: abort the run with [`crate::faults::JobOutcome::BudgetExceeded`]
+    /// after this many dispatched events. `None` is unlimited.
+    pub max_events: Option<u64>,
+    /// Watchdog: abort once simulated time passes this horizon, in
+    /// seconds. `None` is unlimited.
+    pub max_sim_time_s: Option<f64>,
 }
 
 impl Default for JobConf {
@@ -131,6 +137,8 @@ impl Default for JobConf {
             fetch_max_retries: 10,
             fetch_retry_base_s: 1.0,
             node_blacklist_threshold: 3,
+            max_events: None,
+            max_sim_time_s: None,
         }
     }
 }
@@ -196,6 +204,14 @@ impl JobConf {
         }
         if self.node_blacklist_threshold == 0 {
             return Err("node_blacklist_threshold must be at least 1".into());
+        }
+        if self.max_events == Some(0) {
+            return Err("max_events must be at least 1 when set".into());
+        }
+        if let Some(horizon) = self.max_sim_time_s {
+            if !(horizon.is_finite() && horizon > 0.0) {
+                return Err(format!("max_sim_time_s must be positive, got {horizon}"));
+            }
         }
         self.faults.validate()?;
         Ok(())

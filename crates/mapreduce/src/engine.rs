@@ -22,7 +22,7 @@
 //! [`crate::faults::FaultPlan`]) ⇒ identical result to the nanosecond.
 
 use cluster::{Cluster, NodeSpec};
-use simcore::event::EventQueue;
+use simcore::event::{BudgetBreach, EventBudget, EventQueue};
 use simcore::rng::SeedFactory;
 use simcore::time::{SimDuration, SimTime};
 use simcore::trace::{Mark, Trace};
@@ -32,7 +32,7 @@ use crate::conf::EngineKind;
 use crate::costs::CostModel;
 use crate::counters::Counters;
 use crate::faults::{FailureDiag, FaultInjector, JobOutcome};
-use crate::job::{JobResult, JobSpec, PartitionerFactory, TaskTiming};
+use crate::job::{BudgetDiag, JobResult, JobSpec, PartitionerFactory, TaskTiming};
 use crate::schedule::Scheduler;
 use crate::shuffle::rdma::ShuffleModel;
 use crate::shuffle::ShuffleRegistry;
@@ -165,6 +165,10 @@ pub struct Engine<'f> {
     node_failures: Vec<u32>,
     /// Set when the job aborts; the event loop drains out.
     failed: Option<FailureDiag>,
+    /// Watchdog over event count and simulated time (see [`EventBudget`]).
+    budget: EventBudget,
+    /// Set when the watchdog trips; the loop exits on the spot.
+    budget_breach: Option<BudgetDiag>,
     /// Last instant the event loop processed (for failure diagnostics).
     clock: SimTime,
     /// Completed-attempt duration sums/counts, `[maps, reduces]`, feeding
@@ -270,6 +274,11 @@ impl<'f> Engine<'f> {
             speculated: vec![false; n_tasks],
             node_failures: vec![0; n_slaves],
             failed: None,
+            budget: EventBudget::new(
+                spec.conf.max_events,
+                spec.conf.max_sim_time_s.map(SimTime::from_secs_f64),
+            ),
+            budget_breach: None,
             clock: SimTime::ZERO,
             dur_sum: [0.0; 2],
             dur_n: [0; 2],
@@ -337,6 +346,13 @@ impl<'f> Engine<'f> {
                 break;
             };
             self.clock = now;
+            // Watchdog: one charge per loop step (each step dispatches at
+            // least one event). On breach, capture diagnostics and abort
+            // gracefully; the partial result is still well-formed.
+            if let Err(breach) = self.budget.charge(now) {
+                self.budget_breach = Some(self.budget_diag(breach, now));
+                break;
+            }
             // Advance every sub-simulator to the common instant.
             let cpu_done = self.cluster.cpu.advance_to(now);
             let disk_done = self.cluster.disk.advance_to(now);
@@ -385,6 +401,22 @@ impl<'f> Engine<'f> {
         }
 
         self.finish()
+    }
+
+    /// Snapshot of where the run stood when the watchdog tripped.
+    fn budget_diag(&self, breach: BudgetBreach, now: SimTime) -> BudgetDiag {
+        let num_maps = self.spec.conf.num_maps as usize;
+        let maps_done = self.task_done[..num_maps].iter().filter(|&&d| d).count() as u32;
+        BudgetDiag {
+            breach: breach.to_string(),
+            at: now,
+            events: self.budget.events(),
+            queue_depth: self.control.len() + self.timers.len(),
+            maps_done,
+            maps_total: self.spec.conf.num_maps,
+            reduces_done: self.reduces_done,
+            reduces_total: self.spec.conf.num_reduces,
+        }
     }
 
     fn next_time(&mut self) -> Option<SimTime> {
@@ -888,9 +920,10 @@ impl<'f> Engine<'f> {
 
     fn finish(mut self) -> JobResult {
         let overhead = SimDuration::from_secs_f64(self.costs.job_overhead_s);
-        let end = match &self.failed {
-            Some(d) => d.at + overhead,
-            None => self.last_reduce_finish + overhead,
+        let end = match (&self.failed, &self.budget_breach) {
+            (Some(d), _) => d.at + overhead,
+            (None, Some(b)) => b.at + overhead,
+            (None, None) => self.last_reduce_finish + overhead,
         };
 
         // Emit the final partial monitoring window so bytes and busy
@@ -966,12 +999,15 @@ impl<'f> Engine<'f> {
             .collect();
 
         JobResult {
-            outcome: if self.failed.is_some() {
+            outcome: if self.budget_breach.is_some() {
+                JobOutcome::BudgetExceeded
+            } else if self.failed.is_some() {
                 JobOutcome::Failed
             } else {
                 JobOutcome::Succeeded
             },
             failure: self.failed,
+            budget: self.budget_breach,
             job_time,
             map_phase_end,
             shuffle_end,

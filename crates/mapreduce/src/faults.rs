@@ -268,6 +268,10 @@ pub enum JobOutcome {
     /// A task exhausted its attempts (or the cluster was lost) and the
     /// JobTracker/AM killed the job.
     Failed,
+    /// The watchdog tripped: the run crossed its event or simulated-time
+    /// budget and was aborted gracefully. Diagnostics live in
+    /// [`crate::job::BudgetDiag`].
+    BudgetExceeded,
 }
 
 impl JobOutcome {
@@ -276,6 +280,7 @@ impl JobOutcome {
         match self {
             JobOutcome::Succeeded => "succeeded",
             JobOutcome::Failed => "failed",
+            JobOutcome::BudgetExceeded => "budget-exceeded",
         }
     }
 
@@ -284,6 +289,7 @@ impl JobOutcome {
         match s {
             "succeeded" => Ok(JobOutcome::Succeeded),
             "failed" => Ok(JobOutcome::Failed),
+            "budget-exceeded" => Ok(JobOutcome::BudgetExceeded),
             other => Err(format!("unknown job outcome '{other}'")),
         }
     }

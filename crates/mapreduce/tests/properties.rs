@@ -184,6 +184,9 @@ fn faulted_jobs_conserve_records_or_abort_cleanly() {
                 let diag = r.failure.as_ref().expect("failed jobs carry a diagnostic");
                 assert!(!diag.reason.is_empty(), "{ctx}");
             }
+            JobOutcome::BudgetExceeded => {
+                panic!("no budget configured, so none can be exceeded: {ctx}");
+            }
         }
     }
 }

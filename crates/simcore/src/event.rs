@@ -167,6 +167,96 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Why an [`EventBudget`] was breached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetBreach {
+    /// The event count reached the configured ceiling.
+    Events {
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// Simulated time advanced past the configured horizon.
+    SimTime {
+        /// The configured horizon.
+        limit: SimTime,
+        /// The timestamp that crossed it.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for BudgetBreach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetBreach::Events { limit } => {
+                write!(f, "event budget of {limit} events exhausted")
+            }
+            BudgetBreach::SimTime { limit, at } => write!(
+                f,
+                "simulated-time budget of {:.3}s exceeded at t={:.3}s",
+                limit.as_secs_f64(),
+                at.as_secs_f64()
+            ),
+        }
+    }
+}
+
+/// Watchdog for runaway simulations: optional ceilings on the number of
+/// events dispatched and on how far simulated time may advance.
+///
+/// The engine charges every dispatched event via [`EventBudget::charge`];
+/// the first breach is returned as a [`BudgetBreach`] so the caller can
+/// abort gracefully with diagnostics instead of spinning forever. A
+/// budget is pure bookkeeping over deterministic quantities, so enabling
+/// one never perturbs a run that stays inside it.
+#[derive(Clone, Copy, Debug)]
+pub struct EventBudget {
+    max_events: Option<u64>,
+    max_sim_time: Option<SimTime>,
+    events: u64,
+}
+
+impl EventBudget {
+    /// A budget with no ceilings; [`EventBudget::charge`] never breaches.
+    pub fn unlimited() -> Self {
+        EventBudget {
+            max_events: None,
+            max_sim_time: None,
+            events: 0,
+        }
+    }
+
+    /// A budget with the given optional ceilings.
+    pub fn new(max_events: Option<u64>, max_sim_time: Option<SimTime>) -> Self {
+        EventBudget {
+            max_events,
+            max_sim_time,
+            events: 0,
+        }
+    }
+
+    /// Charge one dispatched event at simulated time `now`. Returns the
+    /// breach, if this event crossed either ceiling.
+    pub fn charge(&mut self, now: SimTime) -> Result<(), BudgetBreach> {
+        self.events += 1;
+        if let Some(limit) = self.max_events {
+            if self.events >= limit {
+                return Err(BudgetBreach::Events { limit });
+            }
+        }
+        if let Some(limit) = self.max_sim_time {
+            if now > limit {
+                return Err(BudgetBreach::SimTime { limit, at: now });
+            }
+        }
+        Ok(())
+    }
+
+    /// Events charged so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +380,37 @@ mod tests {
         assert_eq!(a, run());
         assert_eq!(a.len(), 100);
         assert!(a.iter().all(|(_, v)| v % 2 == 1));
+    }
+
+    #[test]
+    fn unlimited_budget_never_breaches() {
+        let mut b = EventBudget::unlimited();
+        for i in 0..10_000u64 {
+            b.charge(SimTime::from_secs(i)).unwrap();
+        }
+        assert_eq!(b.events(), 10_000);
+    }
+
+    #[test]
+    fn event_ceiling_breaches_at_the_limit() {
+        let mut b = EventBudget::new(Some(3), None);
+        b.charge(t(0)).unwrap();
+        b.charge(t(1)).unwrap();
+        assert_eq!(b.charge(t(2)), Err(BudgetBreach::Events { limit: 3 }));
+        assert_eq!(b.events(), 3);
+    }
+
+    #[test]
+    fn sim_time_ceiling_breaches_past_the_horizon() {
+        let mut b = EventBudget::new(None, Some(t(10)));
+        b.charge(t(10)).unwrap(); // exactly at the horizon is fine
+        assert_eq!(
+            b.charge(t(11)),
+            Err(BudgetBreach::SimTime {
+                limit: t(10),
+                at: t(11)
+            })
+        );
     }
 
     #[test]

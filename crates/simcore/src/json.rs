@@ -222,11 +222,13 @@ impl Json {
     }
 
     /// Parse a JSON document. The whole input must be one value plus
-    /// optional surrounding whitespace.
+    /// optional surrounding whitespace. Nesting deeper than
+    /// [`MAX_PARSE_DEPTH`] is rejected with an error rather than risking
+    /// a stack overflow on hostile or corrupt input.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing characters at byte {pos}"));
@@ -299,7 +301,19 @@ fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// Maximum container nesting depth [`Json::parse`] accepts. Real
+/// artifacts nest a handful of levels; anything deeper is corrupt or
+/// adversarial, and the recursive-descent parser must refuse it before
+/// the call stack does.
+pub const MAX_PARSE_DEPTH: usize = 512;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_PARSE_DEPTH} at byte {pos}",
+            pos = *pos
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -316,7 +330,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -344,7 +358,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                     return Err(format!("expected ':' at byte {pos}", pos = *pos));
                 }
                 *pos += 1;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 members.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -612,6 +626,22 @@ mod tests {
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("{1: 2}").is_err());
         assert!(Json::parse("nulL").is_err());
+    }
+
+    #[test]
+    fn depth_limit_rejects_instead_of_overflowing() {
+        // One level under the limit parses; past it is a clean Err.
+        let ok = format!(
+            "{}0{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&ok).is_ok());
+        let deep = "[".repeat(MAX_PARSE_DEPTH + 10);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        let deep_obj = "{\"k\":".repeat(MAX_PARSE_DEPTH + 10);
+        assert!(Json::parse(&deep_obj).is_err());
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Seeded fuzz/property tests for the hand-rolled JSON layer.
+//!
+//! The parser is fed by artifact files, result-store fragments, and
+//! Chrome traces that may be torn mid-write by a crash — so it must
+//! never panic, whatever bytes it sees, and must reject (not overflow
+//! on) adversarially deep nesting. The writer/parser pair must
+//! round-trip every value the suite can produce, including non-finite
+//! floats (written as `null` by design).
+//!
+//! Everything is driven by `SplitMix64` from fixed seeds: a failure
+//! reproduces exactly, per the workspace's determinism rules.
+
+use simcore::json::{Json, MAX_PARSE_DEPTH};
+use simcore::rng::SplitMix64;
+
+/// Arbitrary bytes, biased toward JSON's working set so the fuzzer
+/// spends its iterations inside the parser rather than failing on the
+/// first byte.
+fn arbitrary_bytes(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    const HOT: &[u8] = br#"{}[]",:null truefalse0123456789.-+eE\ "#;
+    (0..len)
+        .map(|_| {
+            if rng.next_below(4) == 0 {
+                rng.next_u64() as u8
+            } else {
+                HOT[rng.next_below(HOT.len() as u64) as usize]
+            }
+        })
+        .collect()
+}
+
+/// A random `Json` tree of bounded depth, covering every variant.
+fn arbitrary_value(rng: &mut SplitMix64, depth: usize) -> Json {
+    let pick = if depth == 0 {
+        rng.next_below(5) // leaves only
+    } else {
+        rng.next_below(7)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_below(2) == 1),
+        // Cover the full i128-visible range the suite uses (u64 and i64).
+        2 => Json::Int(match rng.next_below(4) {
+            0 => i128::from(rng.next_u64()),
+            1 => -i128::from(rng.next_u64()),
+            2 => i128::from(u64::MAX),
+            _ => i128::from(i64::MIN),
+        }),
+        3 => Json::Num(match rng.next_below(6) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => rng.next_f64() * 1e18,
+            4 => -rng.next_f64() / 1e18,
+            _ => rng.next_f64(),
+        }),
+        4 => {
+            let len = rng.next_below(12) as usize;
+            Json::Str(
+                (0..len)
+                    .map(|_| {
+                        // Escapes, controls, and some multi-byte chars.
+                        char::from_u32(match rng.next_below(5) {
+                            0 => rng.next_below(0x20) as u32, // control
+                            1 => u32::from(b'"'),
+                            2 => u32::from(b'\\'),
+                            3 => 0x1F600 + rng.next_below(16) as u32, // emoji
+                            _ => 0x20 + rng.next_below(0x5e) as u32,  // ascii
+                        })
+                        .unwrap_or('?')
+                    })
+                    .collect(),
+            )
+        }
+        5 => {
+            let len = rng.next_below(4) as usize;
+            Json::Arr((0..len).map(|_| arbitrary_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.next_below(4) as usize;
+            Json::Obj(
+                (0..len)
+                    .map(|i| (format!("k{i}"), arbitrary_value(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// The parser must never panic on arbitrary byte strings — it returns
+/// `Ok` or `Err`, both fine; what it may not do is unwind.
+#[test]
+fn parser_never_panics_on_arbitrary_bytes() {
+    let mut rng = SplitMix64::new(0xF0BB_F022);
+    let mut parsed_ok = 0u32;
+    for round in 0..4000 {
+        let len = 1 + rng.next_below(64) as usize;
+        let bytes = arbitrary_bytes(&mut rng, len);
+        let text = String::from_utf8_lossy(&bytes);
+        if Json::parse(&text).is_ok() {
+            parsed_ok += 1;
+        }
+        let _ = round;
+    }
+    // Sanity: the bias makes *some* inputs valid, so the success path is
+    // exercised too, not just early rejection.
+    assert!(parsed_ok > 0, "generator never produced valid JSON");
+}
+
+/// Mutations of a valid document — truncation at every byte boundary
+/// (the torn-write case) and single-byte corruption — must parse or
+/// fail cleanly, never panic.
+#[test]
+fn truncated_and_corrupted_documents_fail_cleanly() {
+    let mut rng = SplitMix64::new(0x7EA12);
+    let doc = arbitrary_value(&mut rng, 4);
+    let text = doc.to_pretty();
+    for cut in 0..text.len() {
+        if text.is_char_boundary(cut) {
+            let _ = Json::parse(&text[..cut]);
+        }
+    }
+    let bytes = text.as_bytes();
+    for _ in 0..500 {
+        let mut mutated = bytes.to_vec();
+        let at = rng.next_below(mutated.len() as u64) as usize;
+        mutated[at] = rng.next_u64() as u8;
+        let _ = Json::parse(&String::from_utf8_lossy(&mutated));
+    }
+}
+
+/// Nesting past `MAX_PARSE_DEPTH` is rejected with an error instead of
+/// a stack overflow, for arrays, objects, and mixtures.
+#[test]
+fn deep_nesting_is_rejected_not_overflowed() {
+    let deep_arr = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+    let err = Json::parse(&deep_arr).unwrap_err();
+    assert!(err.contains("nesting deeper than"), "{err}");
+
+    let deep_obj = format!("{}1{}", "{\"k\":".repeat(100_000), "}".repeat(100_000));
+    let err = Json::parse(&deep_obj).unwrap_err();
+    assert!(err.contains("nesting deeper than"), "{err}");
+
+    let mixed: String = (0..100_000)
+        .map(|i| if i % 2 == 0 { "[" } else { "{\"k\":" })
+        .collect();
+    let err = Json::parse(&mixed).unwrap_err();
+    assert!(err.contains("nesting deeper than"), "{err}");
+
+    // Just inside the limit still parses.
+    let depth = MAX_PARSE_DEPTH - 1;
+    let ok = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+    assert!(Json::parse(&ok).is_ok());
+}
+
+/// Mirror the writer's two lossy steps: non-finite floats are written
+/// as `null`, and integral-valued floats are written without a decimal
+/// point (so they reparse as `Int`).
+fn normalize(v: &Json) -> Json {
+    match v {
+        Json::Num(f) if !f.is_finite() => Json::Null,
+        Json::Num(f) => {
+            let text = format!("{f}");
+            match text.parse::<i128>() {
+                Ok(i) => Json::Int(i),
+                Err(_) => Json::Num(*f),
+            }
+        }
+        Json::Arr(items) => Json::Arr(items.iter().map(normalize).collect()),
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .map(|(k, m)| (k.clone(), normalize(m)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// value → to_pretty → parse returns the same tree (modulo the
+/// documented non-finite-float-to-null collapse), and the reparsed
+/// value is a writer fixpoint — the property every artifact round trip
+/// in the suite leans on.
+#[test]
+fn value_to_pretty_to_parse_round_trips() {
+    let mut rng = SplitMix64::new(0x5EED_CAFE);
+    for _ in 0..400 {
+        let value = arbitrary_value(&mut rng, 4);
+        let text = value.to_pretty();
+        let back =
+            Json::parse(&text).unwrap_or_else(|e| panic!("own output must parse: {e}\n{text}"));
+        assert_eq!(back, normalize(&value), "{text}");
+        // Fixpoint: writing the reparsed tree reproduces the text.
+        assert_eq!(back.to_pretty(), text);
+        // The compact writer agrees with the pretty writer.
+        assert_eq!(Json::parse(&value.to_compact()).unwrap(), back);
+    }
+}
+
+/// The suite writes NaN job metrics as `null` and reads them back as
+/// NaN via `field_f64_or_nan`; pin both directions.
+#[test]
+fn non_finite_floats_round_trip_as_null_then_nan() {
+    let value = Json::Obj(vec![
+        ("nan".into(), Json::Num(f64::NAN)),
+        ("inf".into(), Json::Num(f64::INFINITY)),
+        ("ninf".into(), Json::Num(f64::NEG_INFINITY)),
+        ("fin".into(), Json::Num(1.5)),
+    ]);
+    let text = value.to_pretty();
+    let back = Json::parse(&text).unwrap();
+    for key in ["nan", "inf", "ninf"] {
+        assert_eq!(back.get(key), Some(&Json::Null), "{key}");
+        assert!(back.field_f64_or_nan(key).unwrap().is_nan(), "{key}");
+    }
+    assert_eq!(back.field_f64_or_nan("fin").unwrap(), 1.5);
+}
