@@ -20,10 +20,12 @@ use mapreduce::io::vint;
 use mapreduce::partition::Partitioner;
 use mrbench::partitioners::{AvgPartitioner, RandPartitioner, SkewPartitioner};
 use mrbench::{run, BenchConfig, MicroBenchmark};
+use simcore::event::EventQueue;
 use simcore::rng::{JavaRandom, Xoshiro256pp};
+use simcore::time::SimTime;
 use simcore::units::ByteSize;
-use simnet::fairshare::{max_min_rates, FlowSpec};
-use simnet::Interconnect;
+use simnet::fairshare::{max_min_rates, FairshareSolver, FlowSpec};
+use simnet::{Interconnect, Network, NodeId, Topology};
 
 /// Time `iters` runs of `f` after a small warm-up, printing ns/iter.
 fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
@@ -54,6 +56,104 @@ fn bench_fairshare() {
     let caps = vec![950e6; 16];
     bench("fairshare/40_flows_16_nodes", 10_000, || {
         black_box(max_min_rates(black_box(&flows), &caps, &caps, None));
+    });
+}
+
+fn bench_event_queue() {
+    // Schedule a scattered burst, cancel half, drain: the slab, the
+    // lazy-deletion pop path, and tombstone compaction in one loop.
+    bench("event_queue/2k_schedule_cancel_drain", 2_000, || {
+        let mut q = EventQueue::with_capacity(2_048);
+        let mut ids = Vec::with_capacity(2_000);
+        for i in 0..2_000u64 {
+            ids.push(q.schedule(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i));
+        }
+        for id in ids.iter().step_by(2) {
+            q.cancel(*id);
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
+    });
+}
+
+/// Fair-share scaling ladder: batch solve and incremental churn at each
+/// flow-count the figure workloads span.
+fn bench_fairshare_scaling() {
+    for &flows in &[10usize, 100, 1_000, 10_000] {
+        let nodes = (flows / 4).clamp(4, 128);
+        let specs: Vec<FlowSpec> = (0..flows)
+            .map(|i| {
+                let src = i % nodes;
+                let dst = (i * 7 + 1) % nodes;
+                FlowSpec {
+                    src,
+                    dst: if dst == src { (dst + 1) % nodes } else { dst },
+                }
+            })
+            .collect();
+        let caps = vec![950e6; nodes];
+        let iters = (200_000 / flows.max(100)) as u32;
+        bench(&format!("fairshare/batch_{flows}_flows"), iters, || {
+            black_box(max_min_rates(black_box(&specs), &caps, &caps, None));
+        });
+
+        let mut solver = FairshareSolver::new(&caps, &caps, None);
+        let keys: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| solver.add_flow(*s, i as u64))
+            .collect();
+        solver.solve();
+        let mut i = 0usize;
+        bench(
+            &format!("fairshare/incremental_{flows}_flows"),
+            iters,
+            || {
+                // Remove + re-add one flow, re-solving after each step. The
+                // LIFO free list puts the re-added flow back on the same
+                // slot, so `keys` stays valid across iterations.
+                let k = keys[(i * 13) % keys.len()];
+                i += 1;
+                let spec = solver.spec(k);
+                solver.remove_flow(k);
+                solver.solve();
+                let k2 = solver.add_flow(spec, u64::MAX);
+                solver.solve();
+                black_box(solver.rate(k2));
+            },
+        );
+    }
+}
+
+fn bench_all_to_all() {
+    // 32 nodes, 992 concurrent staggered flows run to idle: the shuffle
+    // phase's dominant network pattern (perfbench runs the 100-node
+    // version; keep `cargo bench` turnaround short).
+    let nodes = 32usize;
+    bench("network/all_to_all_992_flows", 20, || {
+        let mut net = Network::new(Topology::single_switch(nodes, Interconnect::IpoibQdr));
+        let mut tag = 0u64;
+        for s in 0..nodes {
+            for d in 0..nodes {
+                if s != d {
+                    let kib = 1024 + ((s * 131 + d * 17) % 97) as u64 * 64;
+                    net.start_flow(
+                        SimTime::ZERO,
+                        NodeId(s),
+                        NodeId(d),
+                        ByteSize::from_bytes(kib * 1024),
+                        tag,
+                    );
+                    tag += 1;
+                }
+            }
+        }
+        let mut completions = 0usize;
+        while let Some(t) = net.next_event_time() {
+            completions += net.advance_to(t).len();
+        }
+        assert_eq!(completions, nodes * (nodes - 1));
     });
 }
 
@@ -141,7 +241,10 @@ fn bench_end_to_end() {
 }
 
 fn main() {
+    bench_event_queue();
     bench_fairshare();
+    bench_fairshare_scaling();
+    bench_all_to_all();
     bench_rng();
     bench_partitioners();
     bench_ifile();

@@ -149,6 +149,9 @@ pub struct Engine<'f> {
     control: EventQueue<Control>,
     /// Pure timers (fetch-retry backoff); payloads are correlation tags.
     timers: EventQueue<u64>,
+    /// Reusable buffer for network completions, taken out of `self` for
+    /// each event-loop step so dispatch can borrow `self` mutably.
+    net_done: Vec<simnet::FlowCompletion>,
     seeds: SeedFactory,
     injector: FaultInjector,
     reduces_done: u32,
@@ -262,8 +265,9 @@ impl<'f> Engine<'f> {
             counters: Counters::default(),
             tasks: Vec::new(),
             slot_info: Vec::new(),
-            control: EventQueue::new(),
-            timers: EventQueue::new(),
+            control: EventQueue::with_capacity(16),
+            timers: EventQueue::with_capacity(n_tasks.max(16)),
+            net_done: Vec::with_capacity(64),
             seeds,
             injector,
             reduces_done: 0,
@@ -356,7 +360,9 @@ impl<'f> Engine<'f> {
             // Advance every sub-simulator to the common instant.
             let cpu_done = self.cluster.cpu.advance_to(now);
             let disk_done = self.cluster.disk.advance_to(now);
-            let net_done = self.net.advance_to(now);
+            let mut net_done = std::mem::take(&mut self.net_done);
+            net_done.clear();
+            self.net.advance_to_into(now, &mut net_done);
 
             // Control events due now.
             while self.control.peek_time() == Some(now) {
@@ -395,9 +401,10 @@ impl<'f> Engine<'f> {
             for c in disk_done {
                 self.dispatch(c.tag, now);
             }
-            for c in net_done {
+            for c in &net_done {
                 self.dispatch(c.tag, now);
             }
+            self.net_done = net_done;
         }
 
         self.finish()

@@ -6,6 +6,19 @@
 //! aggregate fabric capacity. The classic progressive-filling algorithm is
 //! used: repeatedly find the most-contended resource, freeze all flows
 //! crossing it at its fair share, subtract, and continue.
+//!
+//! Two implementations share the same arithmetic:
+//!
+//! * [`max_min_rates`] — the batch reference. Allocates fresh buffers and
+//!   recounts resource membership on every call; kept as the test oracle.
+//! * [`FairshareSolver`] — the incremental hot-path solver the network
+//!   engine uses. It maintains per-resource membership lists and reusable
+//!   scratch buffers across calls, so a flow arrival or departure is O(1)
+//!   bookkeeping and each re-solve touches only the bottleneck sets
+//!   (resources and the flows frozen at them) instead of rescanning every
+//!   flow per round. The freeze order — and therefore every floating-point
+//!   operation — is identical to the batch solver's, so both produce
+//!   bit-identical rates.
 
 /// A flow as the solver sees it: which resources it crosses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,6 +29,17 @@ pub struct FlowSpec {
     pub dst: usize,
 }
 
+/// Strictly positive floor for frozen rates. Progressive filling
+/// subtracts fair shares from the remaining capacity, and that
+/// subtraction can drift a capacity a few ulps below zero; the `.max(0.0)`
+/// clamp then freezes every remaining flow at exactly 0 B/s, which the
+/// network layer turns into an infinite completion time (the flow is
+/// skipped and never finishes). Relative to the largest capacity, 1e-12
+/// is far below any real share but keeps every completion time finite.
+fn rate_floor_for(max_cap: f64) -> f64 {
+    (max_cap * 1e-12).max(f64::MIN_POSITIVE)
+}
+
 /// Compute max-min fair rates (bytes/s) for `flows`.
 ///
 /// * `egress[n]` / `ingress[n]` — per-direction NIC capacities.
@@ -23,6 +47,9 @@ pub struct FlowSpec {
 ///
 /// Flows with `src == dst` must be filtered out by the caller (loopback
 /// does not cross the fabric).
+///
+/// This is the batch reference implementation (and test oracle for
+/// [`FairshareSolver`]); the network hot path uses the incremental solver.
 pub fn max_min_rates(
     flows: &[FlowSpec],
     egress: &[f64],
@@ -64,16 +91,8 @@ pub fn max_min_rates(
     let mut frozen = vec![false; nf];
     let mut n_frozen = 0;
 
-    // Strictly positive floor for frozen rates. Progressive filling
-    // subtracts fair shares from `remaining`, and that subtraction can
-    // drift a capacity a few ulps below zero; the `.max(0.0)` clamp then
-    // freezes every remaining flow at exactly 0 B/s, which the network
-    // layer turns into an infinite completion time (the flow is skipped
-    // by `next_event_time` and never finishes). Relative to the largest
-    // capacity, 1e-12 is far below any real share but keeps every
-    // completion time finite.
     let max_cap = remaining.iter().cloned().fold(0.0f64, f64::max);
-    let rate_floor = (max_cap * 1e-12).max(f64::MIN_POSITIVE);
+    let rate_floor = rate_floor_for(max_cap);
 
     while n_frozen < nf {
         // Find the bottleneck: the resource with the smallest fair share.
@@ -89,17 +108,29 @@ pub fn max_min_rates(
             }
         }
         if best_res == usize::MAX {
-            // No contended resources remain (shouldn't happen while flows
-            // are unfrozen), freeze the rest at the floor defensively.
+            // No contended resources remain (unreachable while flows are
+            // unfrozen, since every flow crosses ≥2 resources), freeze
+            // the rest at the floor defensively — with full bookkeeping,
+            // so the post-solve invariants below still hold.
             for (i, fz) in frozen.iter_mut().enumerate() {
                 if !*fz {
+                    *fz = true;
                     rates[i] = rate_floor;
+                    for r in resources_of(&flows[i]) {
+                        if r != usize::MAX {
+                            remaining[r] = (remaining[r] - rate_floor).max(0.0);
+                            unfrozen_count[r] -= 1;
+                        }
+                    }
                 }
             }
             break;
         }
 
-        // Freeze every unfrozen flow crossing the bottleneck.
+        // Freeze every unfrozen flow crossing the bottleneck. The frozen
+        // rate (floored) is exactly what is subtracted from the crossed
+        // resources, so `remaining` always reflects the allocation and
+        // the incremental solver can rely on it.
         for (i, f) in flows.iter().enumerate() {
             if frozen[i] {
                 continue;
@@ -108,10 +139,11 @@ pub fn max_min_rates(
             if crosses {
                 frozen[i] = true;
                 n_frozen += 1;
-                rates[i] = best_share.max(rate_floor);
+                let rate = best_share.max(rate_floor);
+                rates[i] = rate;
                 for r in resources_of(f) {
                     if r != usize::MAX {
-                        remaining[r] = (remaining[r] - best_share).max(0.0);
+                        remaining[r] = (remaining[r] - rate).max(0.0);
                         unfrozen_count[r] -= 1;
                     }
                 }
@@ -119,7 +151,392 @@ pub fn max_min_rates(
         }
     }
 
+    // Post-solve invariants: every flow frozen exactly once (all
+    // per-resource unfrozen counts came back to zero) and the allocation
+    // is feasible (no resource over capacity beyond the float tolerance).
+    debug_assert!(
+        unfrozen_count.iter().all(|&c| c == 0),
+        "unfrozen counts must return to zero after the solve"
+    );
+    #[cfg(debug_assertions)]
+    assert_feasible(flows, egress, ingress, fabric, &rates, rate_floor);
+
     rates
+}
+
+/// Debug-only feasibility check: per-resource allocated bandwidth must
+/// not exceed capacity beyond float tolerance plus the floor overshoot
+/// (flows frozen at the floor can collectively exceed a capacity that
+/// itself drifted to ~0).
+#[cfg(debug_assertions)]
+fn assert_feasible(
+    flows: &[FlowSpec],
+    egress: &[f64],
+    ingress: &[f64],
+    fabric: Option<f64>,
+    rates_bps: &[f64],
+    rate_floor_bps: f64,
+) {
+    let n = egress.len();
+    let mut eg = vec![0.0f64; n];
+    let mut ing = vec![0.0f64; n];
+    let mut fab = 0.0f64;
+    for (f, r) in flows.iter().zip(rates_bps) {
+        assert!(r.is_finite() && *r > 0.0, "rate must be positive: {r}");
+        eg[f.src] += r;
+        ing[f.dst] += r;
+        fab += r;
+    }
+    let tol = |cap: f64| cap * 1e-9 + rate_floor_bps * flows.len() as f64 + 1e-9;
+    for i in 0..n {
+        assert!(eg[i] <= egress[i] + tol(egress[i]), "egress {i} over cap");
+        assert!(
+            ing[i] <= ingress[i] + tol(ingress[i]),
+            "ingress {i} over cap"
+        );
+    }
+    if let Some(cap) = fabric {
+        assert!(fab <= cap + tol(cap), "fabric over cap");
+    }
+}
+
+/// Handle to a flow registered with a [`FairshareSolver`]. Invalidated by
+/// [`FairshareSolver::remove_flow`]; using a stale key is a logic error
+/// (caught by debug assertions).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowKey(u32);
+
+/// Incremental max-min solver: owns per-resource membership lists and all
+/// scratch buffers, so repeated solves over a slowly-changing flow set
+/// are allocation-free and skip the full per-round flow rescan of the
+/// batch algorithm.
+///
+/// Usage: [`FairshareSolver::add_flow`] / [`FairshareSolver::remove_flow`]
+/// between events, then [`FairshareSolver::solve`]; afterwards
+/// [`FairshareSolver::changed`] lists exactly the flows whose rate moved,
+/// so callers can leave untouched flows alone.
+#[derive(Debug)]
+pub struct FairshareSolver {
+    n_nodes: usize,
+    has_fabric: bool,
+    /// Static per-resource capacities, layout as in [`max_min_rates`].
+    capacity: Vec<f64>,
+    rate_floor_bps: f64,
+
+    // Flow slab (slot-indexed, slots reused LIFO).
+    specs: Vec<FlowSpec>,
+    users: Vec<u64>,
+    seqs: Vec<u64>,
+    rates_bps: Vec<f64>,
+    frozen_at: Vec<u64>,
+    alive: Vec<bool>,
+    free: Vec<u32>,
+    next_seq: u64,
+
+    /// Precomputed `[egress, ingress]` resource indexes per slot; the
+    /// optional fabric resource is implied by `has_fabric`.
+    res_pair: Vec<[u32; 2]>,
+
+    /// Alive slots in arrival (seq) order — the batch solver's flow-list
+    /// order, which pins the freeze order and float-op sequence.
+    active: Vec<u32>,
+    /// Per-resource alive slots, each in arrival order.
+    res_flows: Vec<Vec<u32>>,
+
+    // Reusable solve scratch.
+    remaining: Vec<f64>,
+    unfrozen: Vec<usize>,
+    /// Cached fair share per resource, recomputed only when the
+    /// resource's remaining capacity or unfrozen count changed — the
+    /// formula (and therefore the value) is exactly what a per-round
+    /// recompute would produce, the cache just skips redundant divisions.
+    share: Vec<f64>,
+    res_dirty: Vec<u32>,
+    in_dirty: Vec<bool>,
+    solve_epoch: u64,
+    changed: Vec<(u64, f64)>,
+}
+
+impl FairshareSolver {
+    /// A solver over fixed capacities (same layout as [`max_min_rates`]).
+    pub fn new(egress: &[f64], ingress: &[f64], fabric: Option<f64>) -> Self {
+        let n = egress.len();
+        assert_eq!(n, ingress.len(), "egress/ingress length mismatch");
+        let n_res = 2 * n + usize::from(fabric.is_some());
+        let mut capacity = vec![0.0f64; n_res];
+        capacity[..n].copy_from_slice(egress);
+        capacity[n..2 * n].copy_from_slice(ingress);
+        if let Some(f) = fabric {
+            capacity[2 * n] = f;
+        }
+        let max_cap = capacity.iter().cloned().fold(0.0f64, f64::max);
+        FairshareSolver {
+            n_nodes: n,
+            has_fabric: fabric.is_some(),
+            rate_floor_bps: rate_floor_for(max_cap),
+            remaining: vec![0.0; n_res],
+            unfrozen: vec![0; n_res],
+            share: vec![0.0; n_res],
+            res_dirty: Vec::new(),
+            in_dirty: vec![false; n_res],
+            res_flows: (0..n_res).map(|_| Vec::new()).collect(),
+            capacity,
+            specs: Vec::new(),
+            users: Vec::new(),
+            seqs: Vec::new(),
+            rates_bps: Vec::new(),
+            frozen_at: Vec::new(),
+            alive: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            res_pair: Vec::new(),
+            active: Vec::new(),
+            solve_epoch: 0,
+            changed: Vec::new(),
+        }
+    }
+
+    /// Number of registered flows.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True when no flows are registered.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    fn resources_of(&self, spec: FlowSpec) -> [usize; 3] {
+        let fab = if self.has_fabric {
+            2 * self.n_nodes
+        } else {
+            usize::MAX
+        };
+        [spec.src, self.n_nodes + spec.dst, fab]
+    }
+
+    /// Register a flow. `user` is an opaque correlation value handed back
+    /// by [`FairshareSolver::changed`]. O(1) amortized.
+    pub fn add_flow(&mut self, spec: FlowSpec, user: u64) -> FlowKey {
+        assert!(
+            spec.src != spec.dst,
+            "loopback flows must not enter the solver"
+        );
+        assert!(
+            spec.src < self.n_nodes && spec.dst < self.n_nodes,
+            "flow references unknown node"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pair = [spec.src as u32, (self.n_nodes + spec.dst) as u32];
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let i = s as usize;
+                self.specs[i] = spec;
+                self.users[i] = user;
+                self.seqs[i] = seq;
+                self.rates_bps[i] = f64::NAN;
+                self.frozen_at[i] = 0;
+                self.alive[i] = true;
+                self.res_pair[i] = pair;
+                s
+            }
+            None => {
+                self.specs.push(spec);
+                self.users.push(user);
+                self.seqs.push(seq);
+                self.rates_bps.push(f64::NAN);
+                self.frozen_at.push(0);
+                self.alive.push(true);
+                self.res_pair.push(pair);
+                (self.specs.len() - 1) as u32
+            }
+        };
+        // A fresh seq is the largest yet, so push keeps every list in
+        // arrival order.
+        self.active.push(slot);
+        for r in self.resources_of(spec) {
+            if r != usize::MAX {
+                self.res_flows[r].push(slot);
+            }
+        }
+        FlowKey(slot)
+    }
+
+    /// Drop a flow. The key becomes stale. O(flows at its resources).
+    pub fn remove_flow(&mut self, key: FlowKey) -> FlowSpec {
+        let slot = key.0;
+        let i = slot as usize;
+        assert!(self.alive[i], "remove_flow on a stale key");
+        let spec = self.specs[i];
+        let seq = self.seqs[i];
+        Self::remove_sorted(&self.seqs, &mut self.active, slot, seq);
+        for r in self.resources_of(spec) {
+            if r != usize::MAX {
+                Self::remove_sorted(&self.seqs, &mut self.res_flows[r], slot, seq);
+            }
+        }
+        self.alive[i] = false;
+        self.free.push(slot);
+        spec
+    }
+
+    /// Remove `slot` from a seq-sorted list via binary search.
+    fn remove_sorted(seqs: &[u64], list: &mut Vec<u32>, slot: u32, seq: u64) {
+        let pos = list.partition_point(|&s| seqs[s as usize] < seq);
+        debug_assert!(list.get(pos) == Some(&slot), "membership list corrupt");
+        list.remove(pos);
+    }
+
+    /// The spec a key was registered with.
+    pub fn spec(&self, key: FlowKey) -> FlowSpec {
+        debug_assert!(self.alive[key.0 as usize], "spec() on a stale key");
+        self.specs[key.0 as usize]
+    }
+
+    /// The rate assigned by the last [`FairshareSolver::solve`].
+    pub fn rate(&self, key: FlowKey) -> f64 {
+        debug_assert!(self.alive[key.0 as usize], "rate() on a stale key");
+        self.rates_bps[key.0 as usize]
+    }
+
+    /// Flows whose rate changed in the last solve, as `(user, new_rate)`.
+    pub fn changed(&self) -> &[(u64, f64)] {
+        &self.changed
+    }
+
+    /// Sum of solved rates leaving `node`, added in arrival order — the
+    /// same order (and therefore the same bits) as summing over an
+    /// id-ordered flow list.
+    pub fn egress_rate_sum(&self, node: usize) -> f64 {
+        self.resource_rate_sum(node)
+    }
+
+    /// Sum of solved rates entering `node`, in arrival order.
+    pub fn ingress_rate_sum(&self, node: usize) -> f64 {
+        self.resource_rate_sum(self.n_nodes + node)
+    }
+
+    fn resource_rate_sum(&self, r: usize) -> f64 {
+        let mut sum = 0.0f64;
+        for &s in &self.res_flows[r] {
+            sum += self.rates_bps[s as usize];
+        }
+        sum
+    }
+
+    /// Recompute the max-min fixed point for the current flow set.
+    ///
+    /// Bit-identical to [`max_min_rates`] over the same flows in arrival
+    /// order: the per-resource membership lists are kept in arrival
+    /// order, so bottleneck freezing performs the identical sequence of
+    /// floating-point operations — it just skips the per-round scan of
+    /// every unrelated flow.
+    pub fn solve(&mut self) {
+        self.solve_epoch += 1;
+        self.changed.clear();
+        if self.active.is_empty() {
+            return;
+        }
+        let epoch = self.solve_epoch;
+        self.remaining.copy_from_slice(&self.capacity);
+        for r in 0..self.unfrozen.len() {
+            let cnt = self.res_flows[r].len();
+            self.unfrozen[r] = cnt;
+            if cnt > 0 {
+                self.share[r] = (self.remaining[r] / cnt as f64).max(0.0);
+            }
+        }
+        // The previous solve's final round left its freeze-touched
+        // resources queued; drop the stale queue AND reset their flags,
+        // or they could never be queued for refresh again.
+        for i in 0..self.res_dirty.len() {
+            self.in_dirty[self.res_dirty[i] as usize] = false;
+        }
+        self.res_dirty.clear();
+
+        let mut n_frozen = 0usize;
+        let total = self.active.len();
+        while n_frozen < total {
+            // Refresh the shares of resources touched by the previous
+            // round's freezes (deduplicated), then pick the bottleneck
+            // from the cache — same values, far fewer divisions than
+            // recomputing every share every round.
+            for i in 0..self.res_dirty.len() {
+                let r = self.res_dirty[i] as usize;
+                self.in_dirty[r] = false;
+                let cnt = self.unfrozen[r];
+                if cnt > 0 {
+                    self.share[r] = (self.remaining[r] / cnt as f64).max(0.0);
+                }
+            }
+            self.res_dirty.clear();
+            let mut best_share = f64::INFINITY;
+            let mut best_res = usize::MAX;
+            for (r, &cnt) in self.unfrozen.iter().enumerate() {
+                if cnt > 0 {
+                    let share = self.share[r];
+                    if share < best_share {
+                        best_share = share;
+                        best_res = r;
+                    }
+                }
+            }
+            if best_res == usize::MAX {
+                // Defensive: freeze the rest at the floor (same
+                // bookkeeping as the batch solver).
+                for idx in 0..self.active.len() {
+                    let fi = self.active[idx] as usize;
+                    if self.frozen_at[fi] != epoch {
+                        self.freeze(fi, self.rate_floor_bps, epoch);
+                    }
+                }
+                break;
+            }
+            let rate = best_share.max(self.rate_floor_bps);
+            // Freeze the bottleneck's members in arrival order. The list
+            // is walked by index because `freeze` needs `&mut self`; it
+            // only mutates slab columns and scratch, never the lists.
+            for idx in 0..self.res_flows[best_res].len() {
+                let fi = self.res_flows[best_res][idx] as usize;
+                if self.frozen_at[fi] != epoch {
+                    self.freeze(fi, rate, epoch);
+                    n_frozen += 1;
+                }
+            }
+        }
+
+        debug_assert!(
+            self.unfrozen.iter().all(|&c| c == 0),
+            "unfrozen counts must return to zero after the solve"
+        );
+    }
+
+    fn freeze(&mut self, fi: usize, rate_bps: f64, epoch: u64) {
+        self.frozen_at[fi] = epoch;
+        if self.rates_bps[fi].to_bits() != rate_bps.to_bits() {
+            self.changed.push((self.users[fi], rate_bps));
+            self.rates_bps[fi] = rate_bps;
+        }
+        let [r1, r2] = self.res_pair[fi];
+        self.touch(r1 as usize, rate_bps);
+        self.touch(r2 as usize, rate_bps);
+        if self.has_fabric {
+            self.touch(2 * self.n_nodes, rate_bps);
+        }
+    }
+
+    /// Subtract a frozen rate from resource `r` and queue its share for
+    /// recomputation at the next round boundary.
+    #[inline]
+    fn touch(&mut self, r: usize, rate_bps: f64) {
+        self.remaining[r] = (self.remaining[r] - rate_bps).max(0.0);
+        self.unfrozen[r] -= 1;
+        if !self.in_dirty[r] {
+            self.in_dirty[r] = true;
+            self.res_dirty.push(r as u32);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -270,5 +687,203 @@ mod tests {
             &[1.0, 1.0],
             None,
         );
+    }
+
+    /// Every batch scenario above, replayed through the incremental
+    /// solver, must produce bit-identical rates.
+    fn check_incremental(flows: &[FlowSpec], egress: &[f64], ingress: &[f64], fabric: Option<f64>) {
+        let oracle = max_min_rates(flows, egress, ingress, fabric);
+        let mut solver = FairshareSolver::new(egress, ingress, fabric);
+        let keys: Vec<FlowKey> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| solver.add_flow(*f, i as u64))
+            .collect();
+        solver.solve();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                solver.rate(*k).to_bits(),
+                oracle[i].to_bits(),
+                "flow {i}: incremental {} vs batch {}",
+                solver.rate(*k),
+                oracle[i]
+            );
+        }
+        // First solve must report every flow as changed (from NaN).
+        assert_eq!(solver.changed().len(), flows.len());
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_fixed_scenarios() {
+        check_incremental(
+            &[FlowSpec { src: 0, dst: 1 }],
+            &[100.0, 100.0],
+            &[80.0, 80.0],
+            None,
+        );
+        check_incremental(
+            &[FlowSpec { src: 0, dst: 2 }, FlowSpec { src: 1, dst: 2 }],
+            &[100.0; 3],
+            &[100.0; 3],
+            None,
+        );
+        check_incremental(
+            &[FlowSpec { src: 0, dst: 2 }, FlowSpec { src: 1, dst: 3 }],
+            &[100.0; 4],
+            &[100.0; 4],
+            Some(120.0),
+        );
+        let incast: Vec<FlowSpec> = (1..8).map(|s| FlowSpec { src: s, dst: 0 }).collect();
+        check_incremental(&incast, &[950.0; 8], &[950.0; 8], None);
+    }
+
+    #[test]
+    fn incremental_tracks_arrivals_and_departures() {
+        let caps = [100.0f64; 4];
+        let mut solver = FairshareSolver::new(&caps, &caps, None);
+        let a = solver.add_flow(FlowSpec { src: 0, dst: 2 }, 0);
+        let b = solver.add_flow(FlowSpec { src: 1, dst: 2 }, 1);
+        solver.solve();
+        assert!(close(solver.rate(a), 50.0));
+        assert!(close(solver.rate(b), 50.0));
+
+        // B leaves: A takes the whole receiver; only A changes.
+        solver.remove_flow(b);
+        solver.solve();
+        assert!(close(solver.rate(a), 100.0));
+        assert_eq!(solver.changed(), &[(0, solver.rate(a))]);
+
+        // A third flow on disjoint resources: A's rate must not change.
+        let c = solver.add_flow(FlowSpec { src: 1, dst: 3 }, 2);
+        solver.solve();
+        assert!(close(solver.rate(a), 100.0));
+        assert!(close(solver.rate(c), 100.0));
+        assert_eq!(solver.changed().len(), 1, "only the new flow changed");
+        assert_eq!(solver.changed()[0].0, 2);
+    }
+
+    #[test]
+    fn changed_list_is_empty_when_nothing_moves() {
+        let caps = [100.0f64; 3];
+        let mut solver = FairshareSolver::new(&caps, &caps, None);
+        solver.add_flow(FlowSpec { src: 0, dst: 2 }, 0);
+        solver.add_flow(FlowSpec { src: 1, dst: 2 }, 1);
+        solver.solve();
+        assert_eq!(solver.changed().len(), 2);
+        solver.solve();
+        assert!(solver.changed().is_empty(), "{:?}", solver.changed());
+    }
+
+    /// Regression: the final freeze round of a solve leaves its touched
+    /// resources queued as dirty; a later solve must reset those flags
+    /// when it discards the stale queue, or the resources can never be
+    /// re-queued and their cached shares go stale mid-solve. Equal
+    /// capacities make every share a tie, so a single stale ulp changes
+    /// the freeze cascade — this exact shape caught the bug.
+    #[test]
+    fn share_cache_survives_tie_heavy_resolves() {
+        let nodes = 8usize;
+        let caps = vec![950e6; nodes];
+        let mut solver = FairshareSolver::new(&caps, &caps, None);
+        let mut live: Vec<(FlowKey, FlowSpec)> = Vec::new();
+        for s in 0..nodes {
+            for d in 0..nodes {
+                if s != d {
+                    let spec = FlowSpec { src: s, dst: d };
+                    live.push((solver.add_flow(spec, live.len() as u64), spec));
+                }
+            }
+        }
+        // Several rounds of batched removals, bit-comparing after each.
+        for round in 0..6 {
+            solver.solve();
+            let specs: Vec<FlowSpec> = live.iter().map(|(_, s)| *s).collect();
+            let oracle = max_min_rates(&specs, &caps, &caps, None);
+            for ((k, _), want) in live.iter().zip(&oracle) {
+                assert_eq!(
+                    solver.rate(*k).to_bits(),
+                    want.to_bits(),
+                    "round {round}: incremental {} vs batch {want}",
+                    solver.rate(*k)
+                );
+            }
+            // Remove every 5th surviving flow.
+            let mut i = 0;
+            live.retain(|(k, _)| {
+                let drop = i % 5 == 0;
+                i += 1;
+                if drop {
+                    solver.remove_flow(*k);
+                }
+                !drop
+            });
+        }
+    }
+
+    /// Seeded random arrival/departure churn, bit-compared against the
+    /// batch oracle after every solve. Equal capacities keep the shares
+    /// tie-heavy (the hardest case for cached-share bookkeeping).
+    #[test]
+    fn incremental_matches_batch_over_random_churn() {
+        let mut rng = simcore::rng::SplitMix64::new(0x5eed_7fa1);
+        let nodes = 10usize;
+        for fabric in [None, Some(4.0e9)] {
+            let caps = vec![950e6; nodes];
+            let mut solver = FairshareSolver::new(&caps, &caps, fabric);
+            let mut live: Vec<(FlowKey, FlowSpec)> = Vec::new();
+            for step in 0..1_200 {
+                let add = live.is_empty() || rng.next_below(10) < 6;
+                if add {
+                    let src = rng.next_below(nodes as u64) as usize;
+                    let mut dst = rng.next_below(nodes as u64) as usize;
+                    if dst == src {
+                        dst = (dst + 1) % nodes;
+                    }
+                    let spec = FlowSpec { src, dst };
+                    live.push((solver.add_flow(spec, step), spec));
+                } else {
+                    let at = rng.next_below(live.len() as u64) as usize;
+                    let (k, _) = live.remove(at);
+                    solver.remove_flow(k);
+                }
+                solver.solve();
+                let specs: Vec<FlowSpec> = live.iter().map(|(_, s)| *s).collect();
+                let oracle = max_min_rates(&specs, &caps, &caps, fabric);
+                for ((k, _), want) in live.iter().zip(&oracle) {
+                    assert_eq!(
+                        solver.rate(*k).to_bits(),
+                        want.to_bits(),
+                        "step {step}: incremental {} vs batch {want}",
+                        solver.rate(*k)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_reuse_keeps_arrival_order() {
+        // Remove a middle flow, add a new one: the new flow reuses the
+        // slab slot but must sort *after* the survivors (fresh seq), so
+        // the freeze order still matches a batch call in arrival order.
+        let caps = [100.0f64; 4];
+        let mut solver = FairshareSolver::new(&caps, &caps, None);
+        let a = solver.add_flow(FlowSpec { src: 0, dst: 2 }, 0);
+        let b = solver.add_flow(FlowSpec { src: 1, dst: 2 }, 1);
+        let _c = solver.add_flow(FlowSpec { src: 3, dst: 2 }, 2);
+        solver.remove_flow(b);
+        let _d = solver.add_flow(FlowSpec { src: 1, dst: 2 }, 3);
+        solver.solve();
+        let oracle = max_min_rates(
+            &[
+                solver.spec(a),
+                FlowSpec { src: 3, dst: 2 },
+                FlowSpec { src: 1, dst: 2 },
+            ],
+            &caps,
+            &caps,
+            None,
+        );
+        assert_eq!(solver.rate(a).to_bits(), oracle[0].to_bits());
     }
 }

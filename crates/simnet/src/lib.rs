@@ -18,6 +18,7 @@ pub mod network;
 pub mod protocol;
 pub mod topology;
 
+pub use fairshare::{max_min_rates, FairshareSolver, FlowKey, FlowSpec};
 pub use monitor::NetworkMonitor;
 pub use network::{FlowCompletion, FlowId, Network};
 pub use protocol::{Interconnect, ProtocolModel};

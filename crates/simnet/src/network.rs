@@ -11,14 +11,29 @@
 //! copies: they never touch the fabric and run at a fixed memory-copy
 //! rate, mirroring how a Hadoop reducer fetches a map output that lives on
 //! its own node.
+//!
+//! # Hot-path layout
+//!
+//! Flows live in a slab (`slots` + free list) with two deterministic
+//! indexes over it: `order`, the alive slots in ascending flow-id order
+//! (flow ids are monotonic, so insertion is a push and removal a binary
+//! search), and `latent`, a FIFO of flows still waiting out the protocol
+//! latency (latency is a per-topology constant, so arrival order is
+//! activation order). Rates come from an incremental [`FairshareSolver`]
+//! that holds exactly the active non-loopback flows; its arrival order is
+//! flow-id order, so it freezes flows in the same sequence — and produces
+//! the same bits — as running the batch solver over the id-ordered flow
+//! list on every event, the way the engine originally did. Per-node
+//! monitor rates are re-summed only for nodes touched by a rate change,
+//! again in id order, keeping the drained byte counts bit-identical too.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use simcore::stats::RateIntegrator;
 use simcore::time::{SimDuration, SimTime};
 use simcore::units::{ByteSize, Rate};
 
-use crate::fairshare::{max_min_rates, FlowSpec};
+use crate::fairshare::{FairshareSolver, FlowKey, FlowSpec};
 use crate::topology::{NodeId, Topology};
 
 /// Handle to an in-flight transfer.
@@ -29,23 +44,21 @@ pub struct FlowId(u64);
 /// figure that is protocol independent.
 pub const LOOPBACK_RATE_MB_S: f64 = 3000.0;
 
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum Phase {
-    /// Waiting out the protocol latency; activates at the given instant.
-    Latent(SimTime),
-    /// Moving bytes at `rate`.
-    Active,
-}
-
+/// Cold per-flow fields; the advance/next-event hot loops only touch the
+/// `remaining` / `rate_bps` / `active` parallel arrays so each O(flows)
+/// pass streams a few dense `f64` lanes instead of 100-byte structs.
 #[derive(Clone, Debug)]
-struct FlowState {
+struct FlowSlot {
+    /// Public monotonic flow id (`order` is sorted by it).
+    id: u64,
     src: NodeId,
     dst: NodeId,
     total: ByteSize,
-    remaining: f64,
-    rate_bps: f64,
-    phase: Phase,
+    /// Activation instant while latent; irrelevant once active.
+    latent_until: SimTime,
     tag: u64,
+    /// Solver membership, present exactly while active and non-loopback.
+    key: Option<FlowKey>,
 }
 
 /// A finished transfer, as reported by [`Network::advance_to`].
@@ -67,33 +80,72 @@ pub struct FlowCompletion {
 #[derive(Debug)]
 pub struct Network {
     topology: Topology,
-    flows: BTreeMap<u64, FlowState>,
+    slots: Vec<FlowSlot>,
+    /// Hot lane: bytes left, parallel to `slots`.
+    remaining: Vec<f64>,
+    /// Hot lane: current rate in bytes/s, parallel to `slots`.
+    rate_bps: Vec<f64>,
+    /// Hot lane: true once past the latency phase, parallel to `slots`.
+    active: Vec<bool>,
+    free: Vec<u32>,
+    /// Alive slots in ascending flow-id order.
+    order: Vec<u32>,
+    /// Latent slots in activation order (constant latency ⇒ FIFO).
+    latent: VecDeque<u32>,
+    solver: FairshareSolver,
     next_id: u64,
     clock: SimTime,
     node_tx: Vec<RateIntegrator>,
     node_rx: Vec<RateIntegrator>,
     loopback: Rate,
-    /// Total bytes that have finished transfer, for accounting.
-    delivered: f64,
+    /// Total payload bytes fully delivered, in exact integer bytes.
+    /// (A previous revision accumulated this in an `f64`, which silently
+    /// loses whole bytes once the total passes 2^53.)
+    delivered: u64,
+    // Reusable event-processing scratch, so the advance path allocates
+    // nothing in steady state.
+    completed_scratch: Vec<u32>,
+    dirty_nodes: Vec<u32>,
+    node_mark: Vec<u64>,
+    mark_epoch: u64,
 }
 
 impl Network {
     /// A quiet network over `topology`, starting at t = 0.
     pub fn new(topology: Topology) -> Self {
         let n = topology.n_nodes();
+        let nic = topology.nic_rate().as_bytes_per_sec();
+        let caps = vec![nic; n];
+        let solver = FairshareSolver::new(
+            &caps,
+            &caps,
+            topology.fabric_cap().map(|r| r.as_bytes_per_sec()),
+        );
         Network {
             topology,
-            flows: BTreeMap::new(),
+            slots: Vec::new(),
+            remaining: Vec::new(),
+            rate_bps: Vec::new(),
+            active: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
+            latent: VecDeque::new(),
+            solver,
             next_id: 0,
             clock: SimTime::ZERO,
             node_tx: (0..n).map(|_| RateIntegrator::new(SimTime::ZERO)).collect(),
             node_rx: (0..n).map(|_| RateIntegrator::new(SimTime::ZERO)).collect(),
             loopback: Rate::from_mb_per_sec(LOOPBACK_RATE_MB_S),
-            delivered: 0.0,
+            delivered: 0,
+            completed_scratch: Vec::new(),
+            dirty_nodes: Vec::new(),
+            node_mark: vec![0; n],
+            mark_epoch: 0,
         }
     }
 
-    /// Override the loopback copy rate (tests, calibration).
+    /// Override the loopback copy rate (tests, calibration). Affects
+    /// flows started after the call.
     pub fn set_loopback_rate(&mut self, rate: Rate) {
         self.loopback = rate;
     }
@@ -110,12 +162,12 @@ impl Network {
 
     /// Number of flows currently latent or active.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.order.len()
     }
 
     /// Total payload bytes fully delivered so far.
     pub fn delivered_bytes(&self) -> u64 {
-        self.delivered as u64
+        self.delivered
     }
 
     /// Begin a transfer of `bytes` from `src` to `dst` at time `now`.
@@ -141,50 +193,111 @@ impl Network {
         };
         let id = self.next_id;
         self.next_id += 1;
-        self.flows.insert(
+        let slot = FlowSlot {
             id,
-            FlowState {
-                src,
-                dst,
-                total: bytes,
-                remaining: bytes.as_bytes() as f64,
-                rate_bps: 0.0,
-                phase: if latency.is_zero() {
-                    Phase::Active
-                } else {
-                    Phase::Latent(now + latency)
+            src,
+            dst,
+            total: bytes,
+            latent_until: now,
+            tag,
+            key: None,
+        };
+        let si = match self.free.pop() {
+            Some(s) => {
+                let i = s as usize;
+                self.slots[i] = slot;
+                self.remaining[i] = bytes.as_bytes() as f64;
+                self.rate_bps[i] = 0.0;
+                self.active[i] = true;
+                s
+            }
+            None => {
+                self.slots.push(slot);
+                self.remaining.push(bytes.as_bytes() as f64);
+                self.rate_bps.push(0.0);
+                self.active.push(true);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        // Ids are monotonic, so a push keeps `order` sorted.
+        self.order.push(si);
+
+        if src == dst {
+            // Loopback: active immediately at the fixed copy rate; never
+            // enters the fair-share solver or the NIC monitors.
+            self.rate_bps[si as usize] = self.loopback.as_bytes_per_sec();
+        } else if latency.is_zero() {
+            // Defensive: no interconnect has zero latency today, but if
+            // one did the flow would contend immediately.
+            let key = self.solver.add_flow(
+                FlowSpec {
+                    src: src.0,
+                    dst: dst.0,
                 },
-                tag,
-            },
-        );
-        self.recompute_rates();
+                u64::from(si),
+            );
+            self.slots[si as usize].key = Some(key);
+            self.begin_rate_update();
+            self.resolve_rates();
+        } else {
+            let at = now + latency;
+            debug_assert!(
+                self.latent
+                    .back()
+                    .is_none_or(|&b| self.slots[b as usize].latent_until <= at),
+                "constant latency must keep the latent queue sorted"
+            );
+            self.slots[si as usize].latent_until = at;
+            self.active[si as usize] = false;
+            self.latent.push_back(si);
+        }
         FlowId(id)
     }
 
     /// The earliest instant at which something happens (an activation or a
     /// completion), or `None` when the network is idle.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        let mut best: Option<SimTime> = None;
-        for f in self.flows.values() {
-            let t = match f.phase {
-                Phase::Latent(at) => at,
-                Phase::Active => {
-                    if f.remaining <= completion_eps(f.rate_bps) {
-                        self.clock
-                    } else if f.rate_bps <= 0.0 {
-                        continue;
-                    } else {
-                        // +1 ns guards against float rounding leaving a
-                        // sub-byte residue at the computed instant.
-                        self.clock
-                            + SimDuration::from_secs_f64(f.remaining / f.rate_bps)
-                            + SimDuration::from_nanos(1)
-                    }
-                }
-            };
-            best = Some(best.map_or(t, |b| b.min(t)));
+        // The latent queue is in activation order, so its head is the
+        // earliest activation; it is always >= the clock (earlier
+        // activations were consumed by `advance_to`).
+        let latent_at = self
+            .latent
+            .front()
+            .map(|&s| self.slots[s as usize].latent_until);
+        // Track the minimum time-to-completion as a raw quotient and
+        // convert once at the end: nanosecond conversion is monotone, so
+        // min-then-round equals the round-then-min a per-flow
+        // construction would compute.
+        let mut best_q = f64::INFINITY;
+        for &s in &self.order {
+            let s = s as usize;
+            if !self.active[s] {
+                continue;
+            }
+            let rate = self.rate_bps[s];
+            let rem = self.remaining[s];
+            if rem <= completion_eps(rate) {
+                // A completion is already due; nothing can beat `clock`
+                // (latent activations are never in the past).
+                return Some(self.clock);
+            }
+            if rate <= 0.0 {
+                continue;
+            }
+            let q = rem / rate;
+            if q < best_q {
+                best_q = q;
+            }
         }
-        best
+        let completion = (best_q < f64::INFINITY).then(|| {
+            // +1 ns guards against float rounding leaving a sub-byte
+            // residue at the computed instant.
+            self.clock + SimDuration::from_secs_f64(best_q) + SimDuration::from_nanos(1)
+        });
+        match (latent_at, completion) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Advance the network clock to `now`, returning every transfer that
@@ -194,45 +307,105 @@ impl Network {
     /// [`Network::next_event_time`]. Skipping only loses precision, never
     /// panics.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<FlowCompletion> {
-        self.integrate_to(now);
+        let mut out = Vec::new();
+        self.advance_to_into(now, &mut out);
+        out
+    }
 
-        let mut completed: Vec<u64> = Vec::new();
-        let mut activated = false;
-        for (&id, f) in &mut self.flows {
-            match f.phase {
-                Phase::Latent(at) => {
-                    if at <= now {
-                        f.phase = Phase::Active;
-                        activated = true;
-                    }
-                }
-                Phase::Active => {
-                    if f.remaining <= completion_eps(f.rate_bps) {
-                        completed.push(id);
+    /// [`Network::advance_to`], but appending completions to a
+    /// caller-owned buffer — the allocation-free form the engine's event
+    /// loop uses.
+    pub fn advance_to_into(&mut self, now: SimTime, out: &mut Vec<FlowCompletion>) {
+        assert!(now >= self.clock, "network clock cannot run backwards");
+        let dt = now.since(self.clock).as_secs_f64();
+
+        // One fused pass: settle every active flow's remaining bytes and
+        // collect the ones at (or below) the completion threshold.
+        // `order` is id-sorted, so completions come out in flow-id order
+        // by construction.
+        self.completed_scratch.clear();
+        if dt > 0.0 {
+            for &s in &self.order {
+                let s = s as usize;
+                if self.active[s] {
+                    let rate = self.rate_bps[s];
+                    let rem = (self.remaining[s] - rate * dt).max(0.0);
+                    self.remaining[s] = rem;
+                    if rem <= completion_eps(rate) {
+                        self.completed_scratch.push(s as u32);
                     }
                 }
             }
+        } else {
+            for &s in &self.order {
+                let s = s as usize;
+                if self.active[s] && self.remaining[s] <= completion_eps(self.rate_bps[s]) {
+                    self.completed_scratch.push(s as u32);
+                }
+            }
         }
-        // BTreeMap iteration is already flow-id ordered, so `completed`
-        // is sorted by construction.
-        debug_assert!(completed.windows(2).all(|w| w[0] < w[1]));
+        for ri in &mut self.node_tx {
+            ri.advance(now);
+        }
+        for ri in &mut self.node_rx {
+            ri.advance(now);
+        }
+        self.clock = now;
 
-        let mut out = Vec::with_capacity(completed.len());
-        for id in completed {
-            let f = self.flows.remove(&id).expect("completed flow exists");
-            self.delivered += f.total.as_bytes() as f64;
+        // Activations: pop the FIFO while due.
+        let mut activated = 0usize;
+        while let Some(&s) = self.latent.front() {
+            let f = &mut self.slots[s as usize];
+            if f.latent_until > now {
+                break;
+            }
+            debug_assert!(!self.active[s as usize], "active flow in latent queue");
+            self.active[s as usize] = true;
+            let key = self.solver.add_flow(
+                FlowSpec {
+                    src: f.src.0,
+                    dst: f.dst.0,
+                },
+                u64::from(s),
+            );
+            f.key = Some(key);
+            self.latent.pop_front();
+            activated += 1;
+        }
+
+        self.begin_rate_update();
+        let mut removed = 0usize;
+        for i in 0..self.completed_scratch.len() {
+            let s = self.completed_scratch[i];
+            let f = &mut self.slots[s as usize];
+            self.delivered += f.total.as_bytes();
             out.push(FlowCompletion {
-                id: FlowId(id),
+                id: FlowId(f.id),
                 src: f.src,
                 dst: f.dst,
                 bytes: f.total,
                 tag: f.tag,
             });
+            let id = f.id;
+            let (src, dst) = (f.src, f.dst);
+            if let Some(key) = f.key.take() {
+                self.solver.remove_flow(key);
+                removed += 1;
+                self.mark_dirty(src);
+                self.mark_dirty(dst);
+            }
+            let slots = &self.slots;
+            let pos = self.order.partition_point(|&o| slots[o as usize].id < id);
+            debug_assert_eq!(self.order.get(pos), Some(&s), "order index corrupt");
+            self.order.remove(pos);
+            self.free.push(s);
         }
-        if activated || !out.is_empty() {
-            self.recompute_rates();
+
+        // Re-solve only when the contending set changed — loopback-only
+        // traffic never perturbs fair shares.
+        if activated > 0 || removed > 0 {
+            self.resolve_rates();
         }
-        out
     }
 
     /// Instantaneous receive rate at `node`.
@@ -260,9 +433,10 @@ impl Network {
         assert!(now >= self.clock, "network clock cannot run backwards");
         let dt = now.since(self.clock).as_secs_f64();
         if dt > 0.0 {
-            for f in self.flows.values_mut() {
-                if f.phase == Phase::Active {
-                    f.remaining = (f.remaining - f.rate_bps * dt).max(0.0);
+            for &s in &self.order {
+                let s = s as usize;
+                if self.active[s] {
+                    self.remaining[s] = (self.remaining[s] - self.rate_bps[s] * dt).max(0.0);
                 }
             }
         }
@@ -275,68 +449,39 @@ impl Network {
         self.clock = now;
     }
 
-    fn recompute_rates(&mut self) {
-        let n = self.topology.n_nodes();
-        let nic = self.topology.nic_rate().as_bytes_per_sec();
-        let egress = vec![nic; n];
-        let ingress = vec![nic; n];
+    /// Start collecting dirty nodes for the next [`Network::resolve_rates`].
+    fn begin_rate_update(&mut self) {
+        self.mark_epoch += 1;
+        self.dirty_nodes.clear();
+    }
 
-        // Stable order: BTreeMap iterates in flow-id order, so rate
-        // assignment is deterministic without an explicit sort.
-        let ids: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.phase == Phase::Active)
-            .map(|(&id, _)| id)
-            .collect();
+    fn mark_dirty(&mut self, node: NodeId) {
+        if self.node_mark[node.0] != self.mark_epoch {
+            self.node_mark[node.0] = self.mark_epoch;
+            self.dirty_nodes.push(node.0 as u32);
+        }
+    }
 
-        let mut net_ids = Vec::new();
-        let mut specs = Vec::new();
-        for &id in &ids {
-            let f = &self.flows[&id];
-            if f.src == f.dst {
-                // Loopback: fixed memory-copy rate.
-                let rate_bps = self.loopback.as_bytes_per_sec();
-                self.flows.get_mut(&id).unwrap().rate_bps = rate_bps;
-            } else {
-                net_ids.push(id);
-                specs.push(FlowSpec {
-                    src: f.src.0,
-                    dst: f.dst.0,
-                });
-            }
-        }
-        let rates = max_min_rates(
-            &specs,
-            &egress,
-            &ingress,
-            self.topology.fabric_cap().map(|r| r.as_bytes_per_sec()),
-        );
-        for (&id, &rate_bps) in net_ids.iter().zip(&rates) {
-            self.flows.get_mut(&id).unwrap().rate_bps = rate_bps;
-        }
-        // Latent flows consume nothing.
-        for f in self.flows.values_mut() {
-            if matches!(f.phase, Phase::Latent(_)) {
-                f.rate_bps = 0.0;
-            }
-        }
-
-        // Refresh per-node monitors.
-        let mut tx = vec![0.0; n];
-        let mut rx = vec![0.0; n];
-        for f in self.flows.values() {
-            if f.phase == Phase::Active && f.src != f.dst {
-                tx[f.src.0] += f.rate_bps;
-                rx[f.dst.0] += f.rate_bps;
-            }
+    /// Re-solve fair shares and refresh the monitors of affected nodes.
+    ///
+    /// Only flows whose rate actually changed are touched, and only their
+    /// endpoints' monitor sums are recomputed — each sum in flow-id order,
+    /// so the arithmetic matches a full id-ordered recompute bit for bit.
+    fn resolve_rates(&mut self) {
+        self.solver.solve();
+        for i in 0..self.solver.changed().len() {
+            let (user, rate) = self.solver.changed()[i];
+            let s = user as usize;
+            self.rate_bps[s] = rate;
+            let (src, dst) = (self.slots[s].src, self.slots[s].dst);
+            self.mark_dirty(src);
+            self.mark_dirty(dst);
         }
         let now = self.clock;
-        for (i, r) in tx.into_iter().enumerate() {
-            self.node_tx[i].set_rate(now, r);
-        }
-        for (i, r) in rx.into_iter().enumerate() {
-            self.node_rx[i].set_rate(now, r);
+        for i in 0..self.dirty_nodes.len() {
+            let node = self.dirty_nodes[i] as usize;
+            self.node_tx[node].set_rate(now, self.solver.egress_rate_sum(node));
+            self.node_rx[node].set_rate(now, self.solver.ingress_rate_sum(node));
         }
     }
 
@@ -346,7 +491,7 @@ impl Network {
     pub fn run_to_idle(&mut self) -> Vec<FlowCompletion> {
         let mut all = Vec::new();
         while let Some(t) = self.next_event_time() {
-            all.extend(self.advance_to(t));
+            self.advance_to_into(t, &mut all);
         }
         all
     }
@@ -507,6 +652,20 @@ mod tests {
     }
 
     #[test]
+    fn delivered_bytes_is_integer_exact_beyond_f64_precision() {
+        // Regression: `delivered` used to accumulate in an f64, which
+        // cannot represent odd byte counts past 2^53 — each of these
+        // payloads would round to 2^53 and the sum would drop 2 bytes.
+        let payload = ByteSize::from_bytes((1u64 << 53) + 1);
+        let mut n = net(2, Interconnect::GigE1);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(0), payload, 0);
+        n.start_flow(SimTime::ZERO, NodeId(1), NodeId(1), payload, 1);
+        let done = n.run_to_idle();
+        assert_eq!(done.len(), 2);
+        assert_eq!(n.delivered_bytes(), ((1u64 << 53) + 1) * 2);
+    }
+
+    #[test]
     fn deterministic_across_runs() {
         let run = || {
             let mut n = net(4, Interconnect::IpoibQdr);
@@ -527,12 +686,12 @@ mod tests {
 
     #[test]
     fn simultaneous_completions_report_in_flow_id_order() {
-        // Regression for the flows-map migration to BTreeMap: identical
+        // Regression for the flows-map migration to the slab: identical
         // flows all complete at the same instant, and `advance_to` must
-        // report them in flow-id order — with a HashMap the completion
-        // scan iterated in RandomState bucket order, and only a
-        // post-hoc sort hid it. Start flows in scrambled src order so
-        // insertion order != node order.
+        // report them in flow-id order — slot indexes get recycled, so
+        // scanning in slot order would report recycled slots too early.
+        // Start flows in scrambled src order so insertion order != node
+        // order.
         let run = || {
             let mut n = net(8, Interconnect::GigE10);
             for &s in &[5usize, 2, 7, 0, 6, 1, 4] {
@@ -555,6 +714,38 @@ mod tests {
             a.iter().map(|(_, tag)| *tag).collect::<Vec<_>>(),
             vec![5, 2, 7, 0, 6, 1, 4]
         );
+    }
+
+    #[test]
+    fn completions_stay_id_ordered_across_slot_reuse() {
+        // Force slot recycling: run a first wave to completion, then a
+        // second wave that reuses the freed slots in a different id
+        // pattern, plus one fresh slot.
+        let mut n = net(6, Interconnect::GigE10);
+        for s in 0..3 {
+            n.start_flow(
+                SimTime::ZERO,
+                NodeId(s),
+                NodeId(5),
+                ByteSize::from_mib(5),
+                s as u64,
+            );
+        }
+        let first = n.run_to_idle();
+        assert_eq!(first.len(), 3);
+        let t = n.now();
+        for s in 0..4 {
+            n.start_flow(
+                t,
+                NodeId(s),
+                NodeId(5),
+                ByteSize::from_mib(5),
+                100 + s as u64,
+            );
+        }
+        let second = n.run_to_idle();
+        let tags: Vec<u64> = second.iter().map(|c| c.tag).collect();
+        assert_eq!(tags, vec![100, 101, 102, 103]);
     }
 
     #[test]
