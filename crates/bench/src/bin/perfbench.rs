@@ -37,8 +37,8 @@ use simcore::units::ByteSize;
 use simnet::fairshare::{max_min_rates, FairshareSolver, FlowSpec};
 use simnet::{Interconnect, Network, NodeId, Topology};
 
-/// PR number stamped into the default artifact name (`BENCH_7.json`).
-const PR: u32 = 7;
+/// PR number stamped into the default artifact name (`BENCH_8.json`).
+const PR: u32 = 8;
 
 fn main() -> ExitCode {
     match real_main() {
@@ -87,6 +87,11 @@ fn real_main() -> Result<(), Error> {
     // still exercises the same code path.
     let a2a_nodes = if quick { 32 } else { 100 };
     workloads.push(bench_all_to_all(a2a_nodes, quick));
+    // Provisioning scale with the rack layer engaged: 1k nodes in 40
+    // racks at 4:1 oversubscription, so every solve pays the uplink
+    // resources too. Runs even in quick mode — CI's perf-smoke is the
+    // regression gate for the rack-aware hot path.
+    workloads.push(bench_rack_shuffle(1_000, 40, 4.0, quick));
     workloads.push(bench_figure_job(quick));
 
     let doc = jobj! {
@@ -263,6 +268,59 @@ fn bench_all_to_all(nodes: usize, _quick: bool) -> Json {
         wall,
         vec![
             ("nodes".into(), Json::Int(nodes as i128)),
+            ("flows".into(), Json::Int(flows as i128)),
+            ("steps".into(), Json::Int(i128::from(steps))),
+        ],
+    )
+}
+
+/// Rack-aware shuffle at provisioning scale: every node streams to a
+/// handful of strided peers (mostly cross-rack), through per-rack uplinks
+/// at the given oversubscription factor. This is the hot path the
+/// rack-aware topologies add on top of the flat crossbar.
+fn bench_rack_shuffle(nodes: usize, racks: usize, factor: f64, quick: bool) -> Json {
+    let peers = if quick { 8 } else { 16 };
+    let mut net = Network::new(
+        Topology::single_switch(nodes, Interconnect::IpoibQdr).with_racks(racks, factor),
+    );
+    let start = Instant::now();
+    let mut tag = 0u64;
+    for s in 0..nodes {
+        for k in 1..=peers {
+            // A large prime stride lands most peers in other racks.
+            let d = (s + k * 101) % nodes;
+            if d == s {
+                continue;
+            }
+            let kib = 256 + ((s * 131 + d * 17) % 97) as u64 * 16;
+            net.start_flow(
+                SimTime::ZERO,
+                NodeId(s),
+                NodeId(d),
+                ByteSize::from_bytes(kib * 1024),
+                tag,
+            );
+            tag += 1;
+        }
+    }
+    let flows = tag;
+    let mut steps: u64 = 0;
+    let mut completions: u64 = 0;
+    while let Some(t) = net.next_event_time() {
+        completions += net.advance_to(t).len() as u64;
+        steps += 1;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(completions, flows, "all flows must complete");
+    let sim_events = flows + steps + completions;
+    row(
+        &format!("network/rack_shuffle_{nodes}n_{racks}r"),
+        sim_events,
+        wall,
+        vec![
+            ("nodes".into(), Json::Int(nodes as i128)),
+            ("racks".into(), Json::Int(racks as i128)),
+            ("oversubscription".into(), Json::Num(factor)),
             ("flows".into(), Json::Int(flows as i128)),
             ("steps".into(), Json::Int(i128::from(steps))),
         ],

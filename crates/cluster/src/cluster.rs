@@ -40,7 +40,7 @@ pub struct Cluster {
     pub cpu: CpuSim,
     /// FIFO disk queues for every slave.
     pub disk: DiskSim,
-    /// 1 Hz CPU monitor.
+    /// CPU monitor; 1 Hz by default, see [`Cluster::set_monitor_interval`].
     pub cpu_monitor: CpuMonitor,
 }
 
@@ -64,6 +64,12 @@ impl Cluster {
     /// Build from a paper preset.
     pub fn preset(preset: ClusterPreset, n_slaves: usize) -> Self {
         Cluster::new(preset.node_spec(), n_slaves)
+    }
+
+    /// Replace the CPU monitor's sampling interval. Call before the
+    /// simulation starts: any samples already taken are discarded.
+    pub fn set_monitor_interval(&mut self, interval: SimDuration) {
+        self.cpu_monitor = CpuMonitor::new(self.n_slaves, interval);
     }
 
     /// Number of slave nodes.

@@ -58,6 +58,15 @@ OPTIONS:
     --maps <N>                     map tasks                  [default: 16]
     --reduces <N>                  reduce tasks               [default: 8]
     --slaves <N>                   slave nodes                [default: 4]
+    --racks <N>                    group the slaves into N racks
+                                                              [default: 1]
+    --oversubscription <F>         rack uplink oversubscription factor
+                                   (>= 1.0; 1.0 is non-blocking)
+                                                              [default: 1.0]
+    --fabric-cap <MB_S>            aggregate core-fabric capacity in MB/s
+                                   (default: non-blocking core)
+    --monitor-interval <SECS>      throughput/CPU monitor sampling interval
+                                                              [default: 1.0]
     --cluster <a|b>                testbed preset             [default: a]
     --engine <mrv1|yarn>           runtime                    [default: mrv1]
     --rdma-shuffle                 use the RDMA (MRoIB) shuffle engine
@@ -163,6 +172,24 @@ pub fn parse_args(args: &[String]) -> Result<Cli, Error> {
             "--maps" => config.num_maps = parse_num(value("--maps")?)? as u32,
             "--reduces" => config.num_reduces = parse_num(value("--reduces")?)? as u32,
             "--slaves" => config.slaves = parse_num(value("--slaves")?)? as usize,
+            "--racks" => config.racks = parse_num(value("--racks")?)? as usize,
+            "--oversubscription" => {
+                config.oversubscription = value("--oversubscription")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --oversubscription value: {e}"))?
+            }
+            "--fabric-cap" => {
+                config.fabric_cap_mb_s = Some(
+                    value("--fabric-cap")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --fabric-cap value: {e}"))?,
+                )
+            }
+            "--monitor-interval" => {
+                config.monitor_interval_s = value("--monitor-interval")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --monitor-interval value: {e}"))?
+            }
             "--cluster" => {
                 config.cluster = match value("--cluster")?.to_ascii_lowercase().as_str() {
                     "a" => ClusterPreset::ClusterA,
@@ -363,6 +390,10 @@ mod tests {
             &["--frobnicate"],
             &["--max-events", "many"],
             &["--max-sim-secs", "soon"],
+            &["--racks", "two"],
+            &["--oversubscription", "lots"],
+            &["--fabric-cap", "thin"],
+            &["--monitor-interval", "often"],
         ] {
             match parse(bad) {
                 Err(Error::Usage(msg)) => assert!(!msg.is_empty(), "{bad:?}"),
@@ -546,6 +577,42 @@ mod tests {
             Some(std::path::Path::new("out/store"))
         );
         assert_eq!(cli.config.num_maps, 8);
+    }
+
+    #[test]
+    fn topology_flags() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.config.racks, 1);
+        assert_eq!(cli.config.oversubscription, 1.0);
+        assert_eq!(cli.config.fabric_cap_mb_s, None);
+        assert_eq!(cli.config.monitor_interval_s, 1.0);
+
+        let cli = parse(&[
+            "--slaves",
+            "8",
+            "--racks",
+            "4",
+            "--oversubscription",
+            "4.0",
+            "--fabric-cap",
+            "2000",
+            "--monitor-interval",
+            "0.25",
+        ])
+        .unwrap();
+        assert_eq!(cli.config.racks, 4);
+        assert_eq!(cli.config.oversubscription, 4.0);
+        assert_eq!(cli.config.fabric_cap_mb_s, Some(2000.0));
+        assert_eq!(cli.config.monitor_interval_s, 0.25);
+        cli.config.validate().unwrap();
+
+        // Validation catches out-of-range values the parser accepts.
+        let cli = parse(&["--slaves", "2", "--racks", "3"]).unwrap();
+        assert!(cli.config.validate().is_err());
+        let cli = parse(&["--oversubscription", "0.5"]).unwrap();
+        assert!(cli.config.validate().is_err());
+        let cli = parse(&["--monitor-interval", "0"]).unwrap();
+        assert!(cli.config.validate().is_err());
     }
 
     #[test]

@@ -87,6 +87,21 @@ pub struct BenchConfig {
     /// Watchdog ceiling on simulated seconds (`--max-sim-secs`). `None`
     /// is unlimited.
     pub max_sim_secs: Option<f64>,
+    /// Number of racks the slaves are grouped into (`--racks`). 1 models
+    /// the paper's single-switch crossbar.
+    pub racks: usize,
+    /// Rack uplink oversubscription factor (`--oversubscription`): the
+    /// sum of member NIC rates over the uplink rate. 1.0 is non-blocking
+    /// and adds no network constraint.
+    pub oversubscription: f64,
+    /// Aggregate core-fabric capacity in MB/s (`--fabric-cap`). `None`
+    /// models a non-blocking core.
+    pub fabric_cap_mb_s: Option<f64>,
+    /// Sampling interval of the per-node throughput/CPU monitors in
+    /// seconds (`--monitor-interval`). The paper's Fig. 7(b) uses 1 Hz;
+    /// sub-second `--quick` jobs need a finer interval for a usable
+    /// series.
+    pub monitor_interval_s: f64,
 }
 
 impl BenchConfig {
@@ -119,6 +134,10 @@ impl BenchConfig {
             trace: false,
             max_events: None,
             max_sim_secs: None,
+            racks: 1,
+            oversubscription: 1.0,
+            fabric_cap_mb_s: None,
+            monitor_interval_s: 1.0,
         }
     }
 
@@ -192,6 +211,7 @@ impl BenchConfig {
             speculative: self.speculative,
             max_events: self.max_events,
             max_sim_time_s: self.max_sim_secs,
+            monitor_interval_s: self.monitor_interval_s,
             ..JobConf::default()
         };
         let mut spec = JobSpec {
@@ -214,6 +234,20 @@ impl BenchConfig {
         self.job_spec().total_shuffle_bytes()
     }
 
+    /// The network topology this config describes: a flat crossbar by
+    /// default, rack-structured and/or fabric-capped when the topology
+    /// knobs are set.
+    pub fn topology(&self) -> simnet::Topology {
+        let mut t = simnet::Topology::single_switch(self.slaves, self.interconnect);
+        if self.racks > 1 || self.oversubscription > 1.0 {
+            t = t.with_racks(self.racks, self.oversubscription);
+        }
+        if let Some(mb_s) = self.fabric_cap_mb_s {
+            t = t.with_fabric_cap(simcore::units::Rate::from_mb_per_sec(mb_s));
+        }
+        t
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.slaves == 0 {
@@ -227,6 +261,32 @@ impl BenchConfig {
             && !(self.zipf_exponent.is_finite() && self.zipf_exponent >= 0.0)
         {
             return Err("MR-ZIPF exponent must be finite and >= 0".into());
+        }
+        if self.racks == 0 {
+            return Err("need at least one rack".into());
+        }
+        if self.racks > self.slaves {
+            return Err(format!(
+                "more racks ({}) than slaves ({})",
+                self.racks, self.slaves
+            ));
+        }
+        if !(self.oversubscription.is_finite() && self.oversubscription >= 1.0) {
+            return Err(format!(
+                "oversubscription factor must be finite and >= 1.0, got {}",
+                self.oversubscription
+            ));
+        }
+        if let Some(cap) = self.fabric_cap_mb_s {
+            if !(cap.is_finite() && cap > 0.0) {
+                return Err(format!("fabric cap must be positive MB/s, got {cap}"));
+            }
+        }
+        if !(self.monitor_interval_s.is_finite() && self.monitor_interval_s > 0.0) {
+            return Err(format!(
+                "monitor interval must be positive seconds, got {}",
+                self.monitor_interval_s
+            ));
         }
         // Fault-plan node indices must name real slaves (the engine asserts
         // this; surface it as a config error instead).
@@ -251,8 +311,14 @@ impl BenchConfig {
 
     /// Serialize to JSON. Enum fields use their stable CLI/report
     /// tokens; the volume is tagged by kind.
+    ///
+    /// Topology and monitor knobs added after the first artifacts shipped
+    /// (`racks`, `oversubscription`, `fabric_cap_mb_s`,
+    /// `monitor_interval_s`) are emitted only when they differ from their
+    /// defaults, so pre-existing artifacts — and the content-addressed
+    /// store digests derived from this encoding — stay byte-identical.
     pub fn to_json(&self) -> Json {
-        jobj! {
+        let mut doc = jobj! {
             "benchmark": self.benchmark.label(),
             "key_size": self.key_size,
             "value_size": self.value_size,
@@ -290,7 +356,25 @@ impl BenchConfig {
                 Some(s) => Json::from(s),
                 None => Json::Null,
             },
+        };
+        if let Json::Obj(fields) = &mut doc {
+            if self.racks != 1 {
+                fields.push(("racks".into(), Json::from(self.racks as u64)));
+            }
+            if self.oversubscription != 1.0 {
+                fields.push(("oversubscription".into(), Json::from(self.oversubscription)));
+            }
+            if let Some(cap) = self.fabric_cap_mb_s {
+                fields.push(("fabric_cap_mb_s".into(), Json::from(cap)));
+            }
+            if self.monitor_interval_s != 1.0 {
+                fields.push((
+                    "monitor_interval_s".into(),
+                    Json::from(self.monitor_interval_s),
+                ));
+            }
         }
+        doc
     }
 
     /// Rebuild from the [`BenchConfig::to_json`] encoding.
@@ -340,6 +424,24 @@ impl BenchConfig {
             max_sim_secs: match json.get("max_sim_secs") {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(v.as_f64().ok_or("bad max_sim_secs")?),
+            },
+            // Topology/monitor knobs are absent in artifacts written
+            // before racks existed (and whenever left at their defaults).
+            racks: match json.get("racks") {
+                None | Some(Json::Null) => 1,
+                Some(v) => v.as_u64().ok_or("bad racks")? as usize,
+            },
+            oversubscription: match json.get("oversubscription") {
+                None | Some(Json::Null) => 1.0,
+                Some(v) => v.as_f64().ok_or("bad oversubscription")?,
+            },
+            fabric_cap_mb_s: match json.get("fabric_cap_mb_s") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or("bad fabric_cap_mb_s")?),
+            },
+            monitor_interval_s: match json.get("monitor_interval_s") {
+                None | Some(Json::Null) => 1.0,
+                Some(v) => v.as_f64().ok_or("bad monitor_interval_s")?,
             },
         })
     }
@@ -465,6 +567,102 @@ mod tests {
         c.volume = ShuffleVolume::PairsPerMap(4096);
         let back = BenchConfig::from_json(&c.to_json()).unwrap();
         assert_eq!(back.volume, ShuffleVolume::PairsPerMap(4096));
+    }
+
+    #[test]
+    fn topology_fields_round_trip_and_stay_out_of_default_docs() {
+        // Defaults are omitted from the document, so artifacts written
+        // before the topology fields existed keep their exact bytes (and
+        // FNV store digests).
+        let c = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_gib(1),
+        );
+        let text = c.to_json().to_pretty();
+        for absent in [
+            "racks",
+            "oversubscription",
+            "fabric_cap_mb_s",
+            "monitor_interval_s",
+        ] {
+            assert!(!text.contains(absent), "{absent} leaked into {text}");
+        }
+        let back = BenchConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.racks, 1);
+        assert_eq!(back.oversubscription, 1.0);
+        assert_eq!(back.fabric_cap_mb_s, None);
+        assert_eq!(back.monitor_interval_s, 1.0);
+
+        // Non-default values survive the canonical round trip.
+        let mut c = c;
+        c.slaves = 8;
+        c.racks = 4;
+        c.oversubscription = 4.0;
+        c.fabric_cap_mb_s = Some(1500.0);
+        c.monitor_interval_s = 0.5;
+        c.validate().unwrap();
+        let text = c.to_json().to_pretty();
+        let back = BenchConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json().to_pretty(), text);
+        assert_eq!(back.racks, 4);
+        assert_eq!(back.oversubscription, 4.0);
+        assert_eq!(back.fabric_cap_mb_s, Some(1500.0));
+        assert_eq!(back.monitor_interval_s, 0.5);
+    }
+
+    #[test]
+    fn topology_builder_reflects_config() {
+        let mut c = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_gib(1),
+        );
+        c.slaves = 8;
+        let flat = c.topology();
+        assert_eq!(flat.n_racks(), 1);
+        assert!(flat.fabric_cap().is_none());
+        assert!(!flat.rack_constrained());
+
+        c.racks = 4;
+        c.oversubscription = 4.0;
+        c.fabric_cap_mb_s = Some(2000.0);
+        c.validate().unwrap();
+        let t = c.topology();
+        assert_eq!(t.n_nodes(), 8);
+        assert_eq!(t.n_racks(), 4);
+        assert_eq!(t.oversubscription(), 4.0);
+        assert!(t.rack_constrained());
+        assert_eq!(
+            t.fabric_cap().map(|r| r.as_bytes_per_sec()),
+            Some(2000.0 * 1e6)
+        );
+    }
+
+    #[test]
+    fn topology_validation_rejects_bad_values() {
+        let mut c = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_gib(1),
+        );
+        c.racks = 0;
+        assert!(c.validate().is_err());
+        c.racks = c.slaves + 1;
+        assert!(c.validate().is_err());
+        c.racks = 1;
+        c.oversubscription = 0.9;
+        assert!(c.validate().is_err());
+        c.oversubscription = f64::NAN;
+        assert!(c.validate().is_err());
+        c.oversubscription = 1.0;
+        c.fabric_cap_mb_s = Some(0.0);
+        assert!(c.validate().is_err());
+        c.fabric_cap_mb_s = None;
+        c.monitor_interval_s = 0.0;
+        assert!(c.validate().is_err());
+        c.monitor_interval_s = 1.0;
+        c.validate().unwrap();
     }
 
     #[test]

@@ -11,12 +11,11 @@ pub fn run(config: &BenchConfig) -> Result<BenchReport, Error> {
     config.validate().map_err(Error::Config)?;
     let spec = config.job_spec();
     let factory = config.factory();
-    let mut engine = Engine::new(
+    let mut engine = Engine::with_topology(
         spec,
         factory.as_ref(),
         config.node_spec(),
-        config.slaves,
-        config.interconnect,
+        config.topology(),
     );
     if config.trace {
         engine.enable_tracing();
@@ -180,6 +179,100 @@ mod tests {
         // An unlimited run is untouched.
         assert!(clean.result.succeeded());
         assert!(clean.result.budget.is_none());
+    }
+
+    #[test]
+    fn oversubscribed_racks_slow_the_shuffle() {
+        // Satellite regression for the once-dead topology path: the same
+        // job over a 2-rack, heavily oversubscribed fabric must be
+        // strictly slower than the flat crossbar, because the all-to-all
+        // shuffle is dominated by cross-rack traffic.
+        let mut flat = small(MicroBenchmark::Avg, Interconnect::GigE1);
+        flat.slaves = 4;
+        flat.num_maps = 8;
+        flat.num_reduces = 8;
+        let mut racked = flat.clone();
+        racked.racks = 2;
+        racked.oversubscription = 8.0;
+        let f = run(&flat).unwrap();
+        let r = run(&racked).unwrap();
+        assert!(
+            r.job_time_secs() > f.job_time_secs(),
+            "racked {} vs flat {}",
+            r.job_time_secs(),
+            f.job_time_secs()
+        );
+    }
+
+    #[test]
+    fn fabric_cap_slows_the_shuffle() {
+        let mut flat = small(MicroBenchmark::Avg, Interconnect::GigE10);
+        flat.slaves = 4;
+        let mut capped = flat.clone();
+        // Well under 4 x 10GigE of aggregate demand.
+        capped.fabric_cap_mb_s = Some(200.0);
+        let f = run(&flat).unwrap();
+        let c = run(&capped).unwrap();
+        assert!(
+            c.job_time_secs() > f.job_time_secs(),
+            "capped {} vs flat {}",
+            c.job_time_secs(),
+            f.job_time_secs()
+        );
+    }
+
+    #[test]
+    fn factor_one_racks_are_bit_identical_to_flat() {
+        // Non-blocking racks add no solver resources, so grouping alone
+        // must not perturb a single bit of the simulation — for every
+        // benchmark and interconnect the figures use.
+        for bench in MicroBenchmark::ALL {
+            for ic in [Interconnect::GigE1, Interconnect::IpoibQdr] {
+                let flat = small(bench, ic);
+                let mut racked = flat.clone();
+                racked.racks = 2;
+                racked.oversubscription = 1.0;
+                let f = run(&flat).unwrap();
+                let r = run(&racked).unwrap();
+                assert_eq!(f.result.job_time, r.result.job_time, "{bench} {ic:?}");
+                assert_eq!(f.result.counters, r.result.counters, "{bench} {ic:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_interval_is_config_driven() {
+        let base = small(MicroBenchmark::Avg, Interconnect::GigE1);
+        let coarse = run(&base).unwrap();
+
+        // A 10x finer interval yields strictly more samples of both
+        // monitors without changing the simulation outcome.
+        let mut fine = base.clone();
+        fine.monitor_interval_s = 0.1;
+        let f = run(&fine).unwrap();
+        assert_eq!(f.result.job_time, coarse.result.job_time);
+        assert!(
+            f.result.cpu_series[0].len() > coarse.result.cpu_series[0].len(),
+            "fine {} vs coarse {}",
+            f.result.cpu_series[0].len(),
+            coarse.result.cpu_series[0].len()
+        );
+        assert!(f.result.net_rx_series[0].len() > coarse.result.net_rx_series[0].len());
+
+        // An interval longer than the whole job still records the final
+        // partial window: the end-of-run flush is what makes short jobs
+        // observable at all.
+        let mut huge = base;
+        huge.monitor_interval_s = 1e6;
+        let h = run(&huge).unwrap();
+        assert_eq!(h.result.job_time, coarse.result.job_time);
+        assert!(!h.result.cpu_series[0].is_empty());
+        assert!(!h.result.net_rx_series[0].is_empty());
+        // The flush stamps the window at the point the engine drained,
+        // which never exceeds the reported job time.
+        let last = h.result.cpu_series[0].samples().last().unwrap();
+        assert!(last.time > simcore::time::SimTime::ZERO);
+        assert!(last.time <= simcore::time::SimTime::ZERO + h.result.job_time);
     }
 
     #[test]

@@ -105,6 +105,11 @@ pub struct JobConf {
     /// Watchdog: abort once simulated time passes this horizon, in
     /// seconds. `None` is unlimited.
     pub max_sim_time_s: Option<f64>,
+    /// Sampling interval for the per-node network/CPU throughput
+    /// monitors, in seconds. The Fig. 7(b)-style 1 Hz default matches
+    /// stock `sar`/`dstat` sampling; sub-second `--quick` jobs need a
+    /// finer interval to produce a usable time series.
+    pub monitor_interval_s: f64,
 }
 
 impl Default for JobConf {
@@ -139,6 +144,7 @@ impl Default for JobConf {
             node_blacklist_threshold: 3,
             max_events: None,
             max_sim_time_s: None,
+            monitor_interval_s: 1.0,
         }
     }
 }
@@ -212,6 +218,12 @@ impl JobConf {
             if !(horizon.is_finite() && horizon > 0.0) {
                 return Err(format!("max_sim_time_s must be positive, got {horizon}"));
             }
+        }
+        if !(self.monitor_interval_s.is_finite() && self.monitor_interval_s > 0.0) {
+            return Err(format!(
+                "monitor_interval_s must be positive, got {}",
+                self.monitor_interval_s
+            ));
         }
         self.faults.validate()?;
         Ok(())

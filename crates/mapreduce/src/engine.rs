@@ -139,6 +139,9 @@ pub struct Engine<'f> {
     cluster: Cluster,
     net: Network,
     net_monitor: NetworkMonitor,
+    /// Sampling period for both throughput monitors and the MonitorTick
+    /// control event (from `JobConf::monitor_interval_s`).
+    monitor_interval: SimDuration,
     registry: ShuffleRegistry,
     scheduler: Scheduler,
     counters: Counters,
@@ -196,7 +199,7 @@ impl std::fmt::Debug for Engine<'_> {
 
 impl<'f> Engine<'f> {
     /// Build an engine for `spec` on `n_slaves` nodes of `node_spec`
-    /// connected by `interconnect`.
+    /// connected by `interconnect` as a flat non-blocking crossbar.
     pub fn new(
         spec: JobSpec,
         factory: &'f dyn PartitionerFactory,
@@ -204,6 +207,24 @@ impl<'f> Engine<'f> {
         n_slaves: usize,
         interconnect: Interconnect,
     ) -> Self {
+        Self::with_topology(
+            spec,
+            factory,
+            node_spec,
+            Topology::single_switch(n_slaves, interconnect),
+        )
+    }
+
+    /// Build an engine for `spec` over an explicit network topology
+    /// (rack-aware, oversubscribed, fabric-capped, or custom-calibrated);
+    /// the cluster size is the topology's node count.
+    pub fn with_topology(
+        spec: JobSpec,
+        factory: &'f dyn PartitionerFactory,
+        node_spec: NodeSpec,
+        topology: Topology,
+    ) -> Self {
+        let n_slaves = topology.n_nodes();
         spec.validate().expect("invalid job spec");
         for c in &spec.conf.faults.node_crashes {
             assert!(
@@ -243,9 +264,11 @@ impl<'f> Engine<'f> {
                 .max(simcore::units::ByteSize::from_gib(2).as_bytes()),
         );
         cluster.disk.enable_page_cache(cache_mem);
-        let topology = Topology::single_switch(n_slaves, interconnect);
+        let monitor_interval = SimDuration::from_secs_f64(spec.conf.monitor_interval_s);
+        cluster.set_monitor_interval(monitor_interval);
+        let protocol = *topology.protocol();
         let net = Network::new(topology);
-        let net_monitor = NetworkMonitor::new(n_slaves, SimDuration::from_secs(1));
+        let net_monitor = NetworkMonitor::new(n_slaves, monitor_interval);
         let registry = ShuffleRegistry::new(spec.conf.num_maps, n_slaves, node_spec.memory);
         let scheduler = Scheduler::new(&spec.conf, n_slaves, &node_spec);
         let n_tasks = (spec.conf.num_maps + spec.conf.num_reduces) as usize;
@@ -253,13 +276,14 @@ impl<'f> Engine<'f> {
         let seeds = SeedFactory::new(spec.conf.seed);
         let injector = FaultInjector::new(spec.conf.faults.clone(), spec.conf.seed);
         Engine {
-            protocol: interconnect.model(),
+            protocol,
             costs: CostModel::calibrated(),
             shuffle_model,
             factory,
             cluster,
             net,
             net_monitor,
+            monitor_interval,
             registry,
             scheduler,
             counters: Counters::default(),
@@ -321,10 +345,8 @@ impl<'f> Engine<'f> {
         let setup = SimDuration::from_secs_f64(self.costs.job_overhead_s);
         self.control
             .schedule(SimTime::ZERO + setup, Control::Heartbeat);
-        self.control.schedule(
-            SimTime::ZERO + SimDuration::from_secs(1),
-            Control::MonitorTick,
-        );
+        self.control
+            .schedule(SimTime::ZERO + self.monitor_interval, Control::MonitorTick);
         let crashes = self.spec.conf.faults.node_crashes.clone();
         for c in &crashes {
             self.control.schedule(
@@ -380,7 +402,7 @@ impl<'f> Engine<'f> {
                             .maybe_sample(now, &mut self.cluster.cpu);
                         self.net_monitor.maybe_sample(now, &mut self.net);
                         self.control
-                            .schedule(now + SimDuration::from_secs(1), Control::MonitorTick);
+                            .schedule(now + self.monitor_interval, Control::MonitorTick);
                     }
                     Control::NodeCrash(node) => {
                         self.handle_node_crash(node, now);

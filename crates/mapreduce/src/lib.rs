@@ -31,6 +31,7 @@ pub mod formats;
 pub mod ifile;
 pub mod io;
 pub mod job;
+pub mod multijob;
 pub mod partition;
 pub mod schedule;
 pub mod shuffle;
@@ -43,4 +44,5 @@ pub use engine::{run_job, Engine};
 pub use faults::{FailureDiag, FaultPlan, JobOutcome, NodeCrash, NodeSlowdown};
 pub use io::DataType;
 pub use job::{JobResult, JobSpec, PartitionerFactory, TaskTiming};
+pub use multijob::{ArrivalProcess, MultiJobResult, MultiJobSpec, TenantReport, TenantSpec};
 pub use partition::{HashPartitioner, HashPartitionerFactory, Partitioner};

@@ -2,15 +2,17 @@
 //!
 //! The flow-level network model assigns each active flow the rate TCP (or
 //! the IB hardware arbiter) would converge to: the *max-min fair*
-//! allocation subject to per-NIC egress/ingress capacities and an optional
-//! aggregate fabric capacity. The classic progressive-filling algorithm is
-//! used: repeatedly find the most-contended resource, freeze all flows
-//! crossing it at its fair share, subtract, and continue.
+//! allocation subject to per-NIC egress/ingress capacities, optional
+//! per-rack uplink capacities (oversubscribed top-of-rack switches), and
+//! an optional aggregate fabric capacity. The classic progressive-filling
+//! algorithm is used: repeatedly find the most-contended resource, freeze
+//! all flows crossing it at its fair share, subtract, and continue.
 //!
 //! Two implementations share the same arithmetic:
 //!
-//! * [`max_min_rates`] — the batch reference. Allocates fresh buffers and
-//!   recounts resource membership on every call; kept as the test oracle.
+//! * [`max_min_rates`] / [`max_min_rates_racked`] — the batch reference.
+//!   Allocates fresh buffers and recounts resource membership on every
+//!   call; kept as the test oracle.
 //! * [`FairshareSolver`] — the incremental hot-path solver the network
 //!   engine uses. It maintains per-resource membership lists and reusable
 //!   scratch buffers across calls, so a flow arrival or departure is O(1)
@@ -19,6 +21,17 @@
 //!   flow per round. The freeze order — and therefore every floating-point
 //!   operation — is identical to the batch solver's, so both produce
 //!   bit-identical rates.
+//!
+//! Resource layout: `[0, n)` egress, `[n, 2n)` ingress, then (when a rack
+//! layer is present) `[2n, 2n+R)` rack uplinks (egress direction) and
+//! `[2n+R, 2n+2R)` rack downlinks (ingress direction), and finally the
+//! optional fabric resource. A flow whose endpoints sit in different
+//! racks consumes src-egress, src-rack-uplink, dst-rack-downlink and
+//! dst-ingress; an intra-rack flow only its NIC resources. Callers model
+//! a non-blocking rack layer (oversubscription factor 1) by passing no
+//! rack layer at all: a factor-1 uplink equals the sum of its member NIC
+//! capacities, so it can tie with but never strictly undercut a NIC
+//! share, and ties resolve to the lower-indexed NIC resource anyway.
 
 /// A flow as the solver sees it: which resources it crosses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +40,17 @@ pub struct FlowSpec {
     pub src: usize,
     /// Destination node index (ingress resource).
     pub dst: usize,
+}
+
+/// The rack layer of a topology, as capacities the solver can bind on.
+#[derive(Clone, Copy, Debug)]
+pub struct RackCaps<'a> {
+    /// Rack index per node (`rack_of[node]`, length = node count).
+    pub rack_of: &'a [usize],
+    /// Per-rack uplink capacity in bytes/s, applied per direction
+    /// (full-duplex: the same cap limits traffic leaving and entering
+    /// the rack independently). Length = rack count.
+    pub uplink: &'a [f64],
 }
 
 /// Strictly positive floor for frozen rates. Progressive filling
@@ -40,7 +64,7 @@ fn rate_floor_for(max_cap: f64) -> f64 {
     (max_cap * 1e-12).max(f64::MIN_POSITIVE)
 }
 
-/// Compute max-min fair rates (bytes/s) for `flows`.
+/// Compute max-min fair rates (bytes/s) for `flows` on a flat crossbar.
 ///
 /// * `egress[n]` / `ingress[n]` — per-direction NIC capacities.
 /// * `fabric` — optional aggregate capacity shared by all flows.
@@ -56,26 +80,61 @@ pub fn max_min_rates(
     ingress: &[f64],
     fabric: Option<f64>,
 ) -> Vec<f64> {
+    max_min_rates_racked(flows, egress, ingress, None, fabric)
+}
+
+/// [`max_min_rates`] with an optional rack layer (see the module docs for
+/// the resource layout). With `racks: None` this performs the exact same
+/// floating-point operations as the flat solver.
+pub fn max_min_rates_racked(
+    flows: &[FlowSpec],
+    egress: &[f64],
+    ingress: &[f64],
+    racks: Option<RackCaps<'_>>,
+    fabric: Option<f64>,
+) -> Vec<f64> {
     let nf = flows.len();
     if nf == 0 {
         return Vec::new();
     }
     let n = egress.len();
     assert_eq!(n, ingress.len(), "egress/ingress length mismatch");
+    let n_racks = racks.map_or(0, |r| {
+        assert_eq!(r.rack_of.len(), n, "rack_of length mismatch");
+        r.uplink.len()
+    });
 
-    // Resource layout: [0,n) egress, [n,2n) ingress, optional 2n fabric.
-    let n_res = 2 * n + usize::from(fabric.is_some());
+    let n_res = 2 * n + 2 * n_racks + usize::from(fabric.is_some());
     let mut remaining = vec![0.0f64; n_res];
     remaining[..n].copy_from_slice(egress);
     remaining[n..2 * n].copy_from_slice(ingress);
+    if let Some(r) = racks {
+        remaining[2 * n..2 * n + n_racks].copy_from_slice(r.uplink);
+        remaining[2 * n + n_racks..2 * n + 2 * n_racks].copy_from_slice(r.uplink);
+    }
     if let Some(f) = fabric {
-        remaining[2 * n] = f;
+        remaining[2 * n + 2 * n_racks] = f;
     }
 
     let mut unfrozen_count = vec![0usize; n_res];
-    let resources_of = |f: &FlowSpec| -> [usize; 3] {
-        let fab = if fabric.is_some() { 2 * n } else { usize::MAX };
-        [f.src, n + f.dst, fab]
+    let resources_of = |f: &FlowSpec| -> [usize; 5] {
+        let fab = if fabric.is_some() {
+            2 * n + 2 * n_racks
+        } else {
+            usize::MAX
+        };
+        let (up, down) = match racks {
+            Some(r) => {
+                let (rs, rd) = (r.rack_of[f.src], r.rack_of[f.dst]);
+                if rs != rd {
+                    (2 * n + rs, 2 * n + n_racks + rd)
+                } else {
+                    (usize::MAX, usize::MAX)
+                }
+            }
+            None => (usize::MAX, usize::MAX),
+        };
+        [f.src, n + f.dst, up, down, fab]
     };
     for f in flows {
         assert!(f.src != f.dst, "loopback flows must not enter the solver");
@@ -159,7 +218,7 @@ pub fn max_min_rates(
         "unfrozen counts must return to zero after the solve"
     );
     #[cfg(debug_assertions)]
-    assert_feasible(flows, egress, ingress, fabric, &rates, rate_floor);
+    assert_feasible(flows, egress, ingress, racks, fabric, &rates, rate_floor);
 
     rates
 }
@@ -173,18 +232,29 @@ fn assert_feasible(
     flows: &[FlowSpec],
     egress: &[f64],
     ingress: &[f64],
+    racks: Option<RackCaps<'_>>,
     fabric: Option<f64>,
     rates_bps: &[f64],
     rate_floor_bps: f64,
 ) {
     let n = egress.len();
+    let n_racks = racks.map_or(0, |r| r.uplink.len());
     let mut eg = vec![0.0f64; n];
     let mut ing = vec![0.0f64; n];
+    let mut up = vec![0.0f64; n_racks];
+    let mut down = vec![0.0f64; n_racks];
     let mut fab = 0.0f64;
     for (f, r) in flows.iter().zip(rates_bps) {
         assert!(r.is_finite() && *r > 0.0, "rate must be positive: {r}");
         eg[f.src] += r;
         ing[f.dst] += r;
+        if let Some(rc) = racks {
+            let (rs, rd) = (rc.rack_of[f.src], rc.rack_of[f.dst]);
+            if rs != rd {
+                up[rs] += r;
+                down[rd] += r;
+            }
+        }
         fab += r;
     }
     let tol = |cap: f64| cap * 1e-9 + rate_floor_bps * flows.len() as f64 + 1e-9;
@@ -194,6 +264,18 @@ fn assert_feasible(
             ing[i] <= ingress[i] + tol(ingress[i]),
             "ingress {i} over cap"
         );
+    }
+    if let Some(rc) = racks {
+        for r in 0..n_racks {
+            assert!(
+                up[r] <= rc.uplink[r] + tol(rc.uplink[r]),
+                "uplink {r} over cap"
+            );
+            assert!(
+                down[r] <= rc.uplink[r] + tol(rc.uplink[r]),
+                "downlink {r} over cap"
+            );
+        }
     }
     if let Some(cap) = fabric {
         assert!(fab <= cap + tol(cap), "fabric over cap");
@@ -205,6 +287,10 @@ fn assert_feasible(
 /// (caught by debug assertions).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FlowKey(u32);
+
+/// Sentinel for "this flow does not cross that resource" in the per-slot
+/// resource quad.
+const NO_RES: u32 = u32::MAX;
 
 /// Incremental max-min solver: owns per-resource membership lists and all
 /// scratch buffers, so repeated solves over a slowly-changing flow set
@@ -218,8 +304,13 @@ pub struct FlowKey(u32);
 #[derive(Debug)]
 pub struct FairshareSolver {
     n_nodes: usize,
-    has_fabric: bool,
-    /// Static per-resource capacities, layout as in [`max_min_rates`].
+    n_racks: usize,
+    /// Rack index per node; empty when the topology has no binding rack
+    /// layer.
+    rack_of: Vec<usize>,
+    /// Fabric resource index, or `usize::MAX` when absent.
+    fabric_res: usize,
+    /// Static per-resource capacities, layout as in [`max_min_rates_racked`].
     capacity: Vec<f64>,
     rate_floor_bps: f64,
 
@@ -233,9 +324,10 @@ pub struct FairshareSolver {
     free: Vec<u32>,
     next_seq: u64,
 
-    /// Precomputed `[egress, ingress]` resource indexes per slot; the
-    /// optional fabric resource is implied by `has_fabric`.
-    res_pair: Vec<[u32; 2]>,
+    /// Precomputed `[egress, ingress, uplink, downlink]` resource indexes
+    /// per slot ([`NO_RES`] marks an uncrossed rack resource); the
+    /// optional fabric resource is implied by `fabric_res`.
+    res_quad: Vec<[u32; 4]>,
 
     /// Alive slots in arrival (seq) order — the batch solver's flow-list
     /// order, which pins the freeze order and float-op sequence.
@@ -258,21 +350,48 @@ pub struct FairshareSolver {
 }
 
 impl FairshareSolver {
-    /// A solver over fixed capacities (same layout as [`max_min_rates`]).
+    /// A solver over flat-crossbar capacities (same layout as
+    /// [`max_min_rates`]).
     pub fn new(egress: &[f64], ingress: &[f64], fabric: Option<f64>) -> Self {
+        Self::with_racks(egress, ingress, None, fabric)
+    }
+
+    /// A solver with an optional rack layer (same layout as
+    /// [`max_min_rates_racked`]).
+    pub fn with_racks(
+        egress: &[f64],
+        ingress: &[f64],
+        racks: Option<RackCaps<'_>>,
+        fabric: Option<f64>,
+    ) -> Self {
         let n = egress.len();
         assert_eq!(n, ingress.len(), "egress/ingress length mismatch");
-        let n_res = 2 * n + usize::from(fabric.is_some());
+        let n_racks = racks.map_or(0, |r| {
+            assert_eq!(r.rack_of.len(), n, "rack_of length mismatch");
+            r.uplink.len()
+        });
+        let n_res = 2 * n + 2 * n_racks + usize::from(fabric.is_some());
         let mut capacity = vec![0.0f64; n_res];
         capacity[..n].copy_from_slice(egress);
         capacity[n..2 * n].copy_from_slice(ingress);
+        if let Some(r) = racks {
+            capacity[2 * n..2 * n + n_racks].copy_from_slice(r.uplink);
+            capacity[2 * n + n_racks..2 * n + 2 * n_racks].copy_from_slice(r.uplink);
+        }
+        let fabric_res = if fabric.is_some() {
+            2 * n + 2 * n_racks
+        } else {
+            usize::MAX
+        };
         if let Some(f) = fabric {
-            capacity[2 * n] = f;
+            capacity[fabric_res] = f;
         }
         let max_cap = capacity.iter().cloned().fold(0.0f64, f64::max);
         FairshareSolver {
             n_nodes: n,
-            has_fabric: fabric.is_some(),
+            n_racks,
+            rack_of: racks.map_or_else(Vec::new, |r| r.rack_of.to_vec()),
+            fabric_res,
             rate_floor_bps: rate_floor_for(max_cap),
             remaining: vec![0.0; n_res],
             unfrozen: vec![0; n_res],
@@ -289,7 +408,7 @@ impl FairshareSolver {
             alive: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
-            res_pair: Vec::new(),
+            res_quad: Vec::new(),
             active: Vec::new(),
             solve_epoch: 0,
             changed: Vec::new(),
@@ -306,13 +425,42 @@ impl FairshareSolver {
         self.active.is_empty()
     }
 
-    fn resources_of(&self, spec: FlowSpec) -> [usize; 3] {
-        let fab = if self.has_fabric {
-            2 * self.n_nodes
+    /// The `[egress, ingress, uplink, downlink]` resource quad of a spec
+    /// ([`NO_RES`] marks an uncrossed rack resource).
+    fn quad_of(&self, spec: FlowSpec) -> [u32; 4] {
+        let (up, down) = if self.n_racks > 0 {
+            let (rs, rd) = (self.rack_of[spec.src], self.rack_of[spec.dst]);
+            if rs != rd {
+                (
+                    (2 * self.n_nodes + rs) as u32,
+                    (2 * self.n_nodes + self.n_racks + rd) as u32,
+                )
+            } else {
+                (NO_RES, NO_RES)
+            }
         } else {
-            usize::MAX
+            (NO_RES, NO_RES)
         };
-        [spec.src, self.n_nodes + spec.dst, fab]
+        [spec.src as u32, (self.n_nodes + spec.dst) as u32, up, down]
+    }
+
+    fn resources_of(&self, spec: FlowSpec) -> [usize; 5] {
+        let quad = self.quad_of(spec);
+        [
+            quad[0] as usize,
+            quad[1] as usize,
+            if quad[2] == NO_RES {
+                usize::MAX
+            } else {
+                quad[2] as usize
+            },
+            if quad[3] == NO_RES {
+                usize::MAX
+            } else {
+                quad[3] as usize
+            },
+            self.fabric_res,
+        ]
     }
 
     /// Register a flow. `user` is an opaque correlation value handed back
@@ -328,7 +476,7 @@ impl FairshareSolver {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let pair = [spec.src as u32, (self.n_nodes + spec.dst) as u32];
+        let quad = self.quad_of(spec);
         let slot = match self.free.pop() {
             Some(s) => {
                 let i = s as usize;
@@ -338,7 +486,7 @@ impl FairshareSolver {
                 self.rates_bps[i] = f64::NAN;
                 self.frozen_at[i] = 0;
                 self.alive[i] = true;
-                self.res_pair[i] = pair;
+                self.res_quad[i] = quad;
                 s
             }
             None => {
@@ -348,7 +496,7 @@ impl FairshareSolver {
                 self.rates_bps.push(f64::NAN);
                 self.frozen_at.push(0);
                 self.alive.push(true);
-                self.res_pair.push(pair);
+                self.res_quad.push(quad);
                 (self.specs.len() - 1) as u32
             }
         };
@@ -427,11 +575,11 @@ impl FairshareSolver {
 
     /// Recompute the max-min fixed point for the current flow set.
     ///
-    /// Bit-identical to [`max_min_rates`] over the same flows in arrival
-    /// order: the per-resource membership lists are kept in arrival
-    /// order, so bottleneck freezing performs the identical sequence of
-    /// floating-point operations — it just skips the per-round scan of
-    /// every unrelated flow.
+    /// Bit-identical to [`max_min_rates_racked`] over the same flows in
+    /// arrival order: the per-resource membership lists are kept in
+    /// arrival order, so bottleneck freezing performs the identical
+    /// sequence of floating-point operations — it just skips the
+    /// per-round scan of every unrelated flow.
     pub fn solve(&mut self) {
         self.solve_epoch += 1;
         self.changed.clear();
@@ -518,11 +666,13 @@ impl FairshareSolver {
             self.changed.push((self.users[fi], rate_bps));
             self.rates_bps[fi] = rate_bps;
         }
-        let [r1, r2] = self.res_pair[fi];
-        self.touch(r1 as usize, rate_bps);
-        self.touch(r2 as usize, rate_bps);
-        if self.has_fabric {
-            self.touch(2 * self.n_nodes, rate_bps);
+        for r in self.res_quad[fi] {
+            if r != NO_RES {
+                self.touch(r as usize, rate_bps);
+            }
+        }
+        if self.fabric_res != usize::MAX {
+            self.touch(self.fabric_res, rate_bps);
         }
     }
 
@@ -611,6 +761,53 @@ mod tests {
         let rates = max_min_rates(&flows, &[950.0; 8], &[950.0; 8], None);
         for r in &rates {
             assert!(close(*r, 950.0 / 7.0), "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn rack_uplink_limits_cross_rack_flows() {
+        // 4 nodes, 2 racks of 2, uplink 100 per direction, NICs 100.
+        // Two cross-rack flows (0->2, 1->3) share the rack-0 uplink and
+        // the rack-1 downlink: 50 each. An intra-rack flow is untouched.
+        let racks = RackCaps {
+            rack_of: &[0, 0, 1, 1],
+            uplink: &[100.0, 100.0],
+        };
+        let flows = vec![
+            FlowSpec { src: 0, dst: 2 },
+            FlowSpec { src: 1, dst: 3 },
+            FlowSpec { src: 3, dst: 2 },
+        ];
+        let rates = max_min_rates_racked(&flows, &[100.0; 4], &[100.0; 4], Some(racks), None);
+        assert!(close(rates[0], 50.0), "{rates:?}");
+        assert!(close(rates[1], 50.0), "{rates:?}");
+        // Flow 2 is intra-rack: only contends on ingress 2 with flow 0.
+        assert!(close(rates[2], 50.0), "{rates:?}");
+    }
+
+    #[test]
+    fn intra_rack_flows_ignore_the_uplink() {
+        // A starved uplink (1 B/s) must not slow an intra-rack flow.
+        let racks = RackCaps {
+            rack_of: &[0, 0, 1, 1],
+            uplink: &[1.0, 1.0],
+        };
+        let flows = vec![FlowSpec { src: 0, dst: 1 }, FlowSpec { src: 2, dst: 0 }];
+        let rates = max_min_rates_racked(&flows, &[100.0; 4], &[100.0; 4], Some(racks), None);
+        assert!(close(rates[0], 100.0), "{rates:?}");
+        assert!(rates[1] <= 1.0 + 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn racked_call_without_racks_is_bit_identical_to_flat() {
+        // The flat entry point delegates; pin that a None rack layer
+        // performs the identical float sequence.
+        let flows: Vec<FlowSpec> = (1..8).map(|s| FlowSpec { src: s, dst: 0 }).collect();
+        let caps = vec![950e6; 8];
+        let flat = max_min_rates(&flows, &caps, &caps, Some(4.0e9));
+        let racked = max_min_rates_racked(&flows, &caps, &caps, None, Some(4.0e9));
+        for (a, b) in flat.iter().zip(&racked) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 
@@ -856,6 +1053,71 @@ mod tests {
                         "step {step}: incremental {} vs batch {want}",
                         solver.rate(*k)
                     );
+                }
+            }
+        }
+    }
+
+    /// The same churn discipline over randomized *rack* topologies: a
+    /// seeded random rack assignment and tight uplinks (a 2-level
+    /// resource set), bit-compared against the racked batch oracle after
+    /// every solve — with and without a fabric cap on top.
+    #[test]
+    fn incremental_matches_batch_over_random_rack_churn() {
+        let mut rng = simcore::rng::SplitMix64::new(0x5eed_7fa2);
+        let nodes = 12usize;
+        for fabric in [None, Some(3.0e9)] {
+            for n_racks in [2usize, 4] {
+                // Random (not necessarily contiguous or balanced) rack
+                // assignment; every rack is guaranteed a member by
+                // seeding the first n_racks nodes round-robin.
+                let rack_of: Vec<usize> = (0..nodes)
+                    .map(|i| {
+                        if i < n_racks {
+                            i
+                        } else {
+                            rng.next_below(n_racks as u64) as usize
+                        }
+                    })
+                    .collect();
+                // Tight uplinks so they genuinely bind: ~1.5 NICs worth
+                // per rack regardless of member count.
+                let uplink: Vec<f64> = (0..n_racks)
+                    .map(|r| 950e6 * (1.0 + 0.5 * ((r % 2) as f64)))
+                    .collect();
+                let caps = vec![950e6; nodes];
+                let racks = RackCaps {
+                    rack_of: &rack_of,
+                    uplink: &uplink,
+                };
+                let mut solver = FairshareSolver::with_racks(&caps, &caps, Some(racks), fabric);
+                let mut live: Vec<(FlowKey, FlowSpec)> = Vec::new();
+                for step in 0..600 {
+                    let add = live.is_empty() || rng.next_below(10) < 6;
+                    if add {
+                        let src = rng.next_below(nodes as u64) as usize;
+                        let mut dst = rng.next_below(nodes as u64) as usize;
+                        if dst == src {
+                            dst = (dst + 1) % nodes;
+                        }
+                        let spec = FlowSpec { src, dst };
+                        live.push((solver.add_flow(spec, step), spec));
+                    } else {
+                        let at = rng.next_below(live.len() as u64) as usize;
+                        let (k, _) = live.remove(at);
+                        solver.remove_flow(k);
+                    }
+                    solver.solve();
+                    let specs: Vec<FlowSpec> = live.iter().map(|(_, s)| *s).collect();
+                    let oracle = max_min_rates_racked(&specs, &caps, &caps, Some(racks), fabric);
+                    for ((k, _), want) in live.iter().zip(&oracle) {
+                        assert_eq!(
+                            solver.rate(*k).to_bits(),
+                            want.to_bits(),
+                            "racks {n_racks} step {step}: incremental {} vs batch {want}",
+                            solver.rate(*k)
+                        );
+                    }
                 }
             }
         }

@@ -7,7 +7,8 @@
 //!
 //! * [`protocol`] — per-interconnect models, calibrated against the
 //!   paper's own Fig. 7(b) throughput observations.
-//! * [`topology`] — single-switch cluster fabric.
+//! * [`topology`] — cluster fabric: single-switch crossbar or rack-aware
+//!   with oversubscribed top-of-rack uplinks.
 //! * [`fairshare`] — max-min fair allocation (progressive filling).
 //! * [`network`] — the event-driven flow engine.
 //! * [`monitor`] — 1 Hz per-node throughput sampling (Fig. 7(b)).
@@ -18,7 +19,9 @@ pub mod network;
 pub mod protocol;
 pub mod topology;
 
-pub use fairshare::{max_min_rates, FairshareSolver, FlowKey, FlowSpec};
+pub use fairshare::{
+    max_min_rates, max_min_rates_racked, FairshareSolver, FlowKey, FlowSpec, RackCaps,
+};
 pub use monitor::NetworkMonitor;
 pub use network::{FlowCompletion, FlowId, Network};
 pub use protocol::{Interconnect, ProtocolModel};

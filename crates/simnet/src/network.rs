@@ -33,7 +33,7 @@ use simcore::stats::RateIntegrator;
 use simcore::time::{SimDuration, SimTime};
 use simcore::units::{ByteSize, Rate};
 
-use crate::fairshare::{FairshareSolver, FlowKey, FlowSpec};
+use crate::fairshare::{FairshareSolver, FlowKey, FlowSpec, RackCaps};
 use crate::topology::{NodeId, Topology};
 
 /// Handle to an in-flight transfer.
@@ -116,10 +116,14 @@ impl Network {
         let n = topology.n_nodes();
         let nic = topology.nic_rate().as_bytes_per_sec();
         let caps = vec![nic; n];
-        let solver = FairshareSolver::new(
+        let fabric = topology.fabric_cap().map(|r| r.as_bytes_per_sec());
+        let rack = topology.rack_assignment();
+        let solver = FairshareSolver::with_racks(
             &caps,
             &caps,
-            topology.fabric_cap().map(|r| r.as_bytes_per_sec()),
+            rack.as_ref()
+                .map(|(rack_of, uplink)| RackCaps { rack_of, uplink }),
+            fabric,
         );
         Network {
             topology,

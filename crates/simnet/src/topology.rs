@@ -2,9 +2,22 @@
 //!
 //! Both of the paper's testbeds are single-switch clusters (a 24-port
 //! Fulcrum Focalpoint for Ethernet, a Mellanox switch for InfiniBand), so
-//! the topology model is a non-blocking crossbar with per-node NICs and an
-//! optional aggregate fabric capacity for modelling oversubscribed
-//! switches.
+//! the default topology model is a non-blocking crossbar with per-node
+//! NICs and an optional aggregate fabric capacity for modelling
+//! oversubscribed switches.
+//!
+//! Production Hadoop fabrics are rack-structured: nodes hang off a
+//! top-of-rack switch whose uplink into the core is *oversubscribed* —
+//! the sum of the member NIC rates exceeds the uplink rate by the
+//! oversubscription factor. [`Topology::with_racks`] models exactly that:
+//! nodes are grouped into `n_racks` contiguous blocks, and each rack
+//! contributes one uplink resource per direction with capacity
+//! `members × nic_rate / oversubscription`. A factor of 1 is by
+//! definition non-blocking — the uplink equals the sum of its member
+//! NICs, so it can never be the strict bottleneck (the mediant
+//! inequality: `Σcap / Σflows ≥ min(cap_i / flows_i)`) — and the solver
+//! therefore materializes uplink resources only when the factor exceeds
+//! 1, keeping the flat case bit-identical to the crossbar model.
 
 use simcore::units::Rate;
 
@@ -20,14 +33,20 @@ impl std::fmt::Display for NodeId {
     }
 }
 
-/// A single-switch cluster fabric.
+/// A cluster fabric: flat crossbar by default, rack-structured with
+/// oversubscribed uplinks via [`Topology::with_racks`].
 #[derive(Clone, Debug)]
 pub struct Topology {
     n_nodes: usize,
     protocol: ProtocolModel,
-    /// Total bisection capacity of the switch, if it is oversubscribed;
-    /// `None` models a non-blocking switch.
+    /// Total bisection capacity of the core, if it is oversubscribed;
+    /// `None` models a non-blocking core.
     fabric_cap: Option<Rate>,
+    /// Number of racks; 1 models the paper's single-switch crossbar.
+    n_racks: usize,
+    /// Rack uplink oversubscription factor: sum of member NIC rates over
+    /// uplink rate. 1.0 is non-blocking.
+    oversubscription: f64,
 }
 
 impl Topology {
@@ -44,12 +63,33 @@ impl Topology {
             n_nodes,
             protocol,
             fabric_cap: None,
+            n_racks: 1,
+            oversubscription: 1.0,
         }
     }
 
-    /// Limit the aggregate fabric throughput (oversubscribed switch).
+    /// Limit the aggregate fabric throughput (oversubscribed core).
     pub fn with_fabric_cap(mut self, cap: Rate) -> Self {
         self.fabric_cap = Some(cap);
+        self
+    }
+
+    /// Group the nodes into `n_racks` contiguous blocks with per-rack
+    /// uplinks oversubscribed by `oversubscription` (≥ 1.0; 1.0 is
+    /// non-blocking and adds no solver resources).
+    pub fn with_racks(mut self, n_racks: usize, oversubscription: f64) -> Self {
+        assert!(n_racks >= 1, "need at least one rack");
+        assert!(
+            n_racks <= self.n_nodes,
+            "more racks ({n_racks}) than nodes ({})",
+            self.n_nodes
+        );
+        assert!(
+            oversubscription.is_finite() && oversubscription >= 1.0,
+            "oversubscription factor must be finite and >= 1.0, got {oversubscription}"
+        );
+        self.n_racks = n_racks;
+        self.oversubscription = oversubscription;
         self
     }
 
@@ -78,6 +118,55 @@ impl Topology {
         self.fabric_cap
     }
 
+    /// Number of racks (1 = flat crossbar).
+    pub fn n_racks(&self) -> usize {
+        self.n_racks
+    }
+
+    /// Rack uplink oversubscription factor.
+    pub fn oversubscription(&self) -> f64 {
+        self.oversubscription
+    }
+
+    /// The rack holding `node`. Nodes are assigned to racks in
+    /// contiguous blocks of `ceil(n_nodes / n_racks)`.
+    pub fn rack_of(&self, node: usize) -> usize {
+        debug_assert!(node < self.n_nodes);
+        node / self.n_nodes.div_ceil(self.n_racks)
+    }
+
+    /// Number of nodes in `rack`.
+    pub fn rack_members(&self, rack: usize) -> usize {
+        let block = self.n_nodes.div_ceil(self.n_racks);
+        self.n_nodes.saturating_sub(rack * block).min(block)
+    }
+
+    /// Per-direction uplink capacity of `rack`, in bytes/s.
+    pub fn uplink_cap_bps(&self, rack: usize) -> f64 {
+        self.rack_members(rack) as f64 * self.nic_rate().as_bytes_per_sec() / self.oversubscription
+    }
+
+    /// True when the rack uplinks can actually bind — more than one rack
+    /// AND a factor strictly above 1. At exactly 1 the uplink equals the
+    /// sum of its member NIC capacities and can only tie (ties resolve to
+    /// the lower-indexed NIC resources), so omitting the resources keeps
+    /// the solve bit-identical to the flat crossbar.
+    pub fn rack_constrained(&self) -> bool {
+        self.n_racks > 1 && self.oversubscription > 1.0
+    }
+
+    /// Solver inputs for the rack layer: per-node rack index plus
+    /// per-rack uplink capacity (bytes/s, per direction). `None` when the
+    /// rack layer adds no constraint (see [`Topology::rack_constrained`]).
+    pub fn rack_assignment(&self) -> Option<(Vec<usize>, Vec<f64>)> {
+        if !self.rack_constrained() {
+            return None;
+        }
+        let rack_of: Vec<usize> = (0..self.n_nodes).map(|n| self.rack_of(n)).collect();
+        let uplink: Vec<f64> = (0..self.n_racks).map(|r| self.uplink_cap_bps(r)).collect();
+        Some((rack_of, uplink))
+    }
+
     /// Validate a node id.
     pub fn contains(&self, node: NodeId) -> bool {
         node.0 < self.n_nodes
@@ -96,6 +185,9 @@ mod tests {
         assert!(!t.contains(NodeId(4)));
         assert_eq!(t.nodes().count(), 4);
         assert!(t.fabric_cap().is_none());
+        assert_eq!(t.n_racks(), 1);
+        assert!(!t.rack_constrained());
+        assert!(t.rack_assignment().is_none());
         assert!((t.nic_rate().as_mb_per_sec() - 545.0).abs() < 1.0);
     }
 
@@ -110,5 +202,48 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn rejects_empty() {
         let _ = Topology::single_switch(0, Interconnect::GigE1);
+    }
+
+    #[test]
+    fn rack_blocks_are_contiguous_and_cover_all_nodes() {
+        // 10 nodes over 4 racks: blocks of 3 -> sizes 3,3,3,1.
+        let t = Topology::single_switch(10, Interconnect::GigE1).with_racks(4, 4.0);
+        let assignment: Vec<usize> = (0..10).map(|n| t.rack_of(n)).collect();
+        assert_eq!(assignment, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        assert_eq!(
+            (0..4).map(|r| t.rack_members(r)).collect::<Vec<_>>(),
+            [3, 3, 3, 1]
+        );
+        assert_eq!((0..4).map(|r| t.rack_members(r)).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn uplink_capacity_scales_with_members_and_factor() {
+        let t = Topology::single_switch(8, Interconnect::GigE1).with_racks(2, 4.0);
+        let nic = t.nic_rate().as_bytes_per_sec();
+        assert!((t.uplink_cap_bps(0) - 4.0 * nic / 4.0).abs() < 1e-6);
+        let (rack_of, uplink) = t.rack_assignment().expect("constrained");
+        assert_eq!(rack_of, [0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(uplink.len(), 2);
+    }
+
+    #[test]
+    fn factor_one_is_non_blocking() {
+        let t = Topology::single_switch(8, Interconnect::GigE1).with_racks(2, 1.0);
+        assert_eq!(t.n_racks(), 2);
+        assert!(!t.rack_constrained());
+        assert!(t.rack_assignment().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "more racks")]
+    fn rejects_more_racks_than_nodes() {
+        let _ = Topology::single_switch(2, Interconnect::GigE1).with_racks(3, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscription factor")]
+    fn rejects_sub_one_factor() {
+        let _ = Topology::single_switch(4, Interconnect::GigE1).with_racks(2, 0.5);
     }
 }

@@ -109,6 +109,113 @@ fn network_delivers_everything() {
     }
 }
 
+/// Run an all-to-all shuffle (every node sends 8 MiB to every other
+/// node) over `topology` and return the idle time.
+fn all_to_all_finish(topology: Topology) -> SimTime {
+    let n = topology.n_nodes();
+    let mut net = Network::new(topology);
+    let mut tag = 0u64;
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                net.start_flow(
+                    SimTime::ZERO,
+                    NodeId(s),
+                    NodeId(d),
+                    ByteSize::from_mib(8),
+                    tag,
+                );
+                tag += 1;
+            }
+        }
+    }
+    net.run_to_idle();
+    net.now()
+}
+
+/// An oversubscribed rack fabric makes a cross-rack all-to-all shuffle
+/// strictly slower than the non-blocking crossbar (the regression for
+/// the formerly dead oversubscription path).
+#[test]
+fn oversubscribed_all_to_all_is_strictly_slower() {
+    let flat = all_to_all_finish(Topology::single_switch(8, Interconnect::GigE1));
+    let racked =
+        all_to_all_finish(Topology::single_switch(8, Interconnect::GigE1).with_racks(2, 4.0));
+    assert!(
+        racked > flat,
+        "oversubscribed {racked:?} must be strictly slower than flat {flat:?}"
+    );
+}
+
+/// Oversubscription factor 1 is non-blocking by definition: the rack
+/// layer must add no solver resources and reproduce the flat crossbar
+/// bit-for-bit, flow by flow.
+#[test]
+fn factor_one_racks_bit_identical_to_flat() {
+    let run = |topology: Topology| {
+        let mut net = Network::new(topology);
+        let mut tag = 0u64;
+        for s in 0..8usize {
+            for d in 0..8usize {
+                if s != d {
+                    net.start_flow(
+                        SimTime::ZERO,
+                        NodeId(s),
+                        NodeId(d),
+                        ByteSize::from_mib(1 + ((s * 7 + d) % 5) as u64),
+                        tag,
+                    );
+                    tag += 1;
+                }
+            }
+        }
+        // Step event by event, recording (completion time, tag) pairs —
+        // a full bit-level trace of the run.
+        let mut events: Vec<(u64, u64)> = Vec::new();
+        let mut out = Vec::new();
+        while let Some(t) = net.next_event_time() {
+            out.clear();
+            net.advance_to_into(t, &mut out);
+            for c in &out {
+                events.push((t.as_nanos(), c.tag));
+            }
+        }
+        events
+    };
+    let flat = run(Topology::single_switch(8, Interconnect::IpoibQdr));
+    let racked = run(Topology::single_switch(8, Interconnect::IpoibQdr).with_racks(4, 1.0));
+    assert_eq!(flat, racked);
+}
+
+/// Rack-constrained runs still deliver every byte.
+#[test]
+fn rack_network_delivers_everything() {
+    let mut rng = SplitMix64::new(0x0ACC);
+    for _ in 0..32 {
+        let n = 1 + rng.next_below(15) as usize;
+        let mut net =
+            Network::new(Topology::single_switch(6, Interconnect::GigE10).with_racks(3, 8.0));
+        let mut expected = 0u64;
+        for i in 0..n {
+            let s = rng.next_below(6) as usize;
+            let d = rng.next_below(6) as usize;
+            let bytes = ByteSize::from_mib(1 + rng.next_below(31));
+            expected += bytes.as_bytes();
+            net.start_flow(
+                SimTime::from_nanos(i as u64),
+                NodeId(s),
+                NodeId(d),
+                bytes,
+                i as u64,
+            );
+        }
+        let done = net.run_to_idle();
+        assert_eq!(done.len(), n);
+        assert_eq!(net.delivered_bytes(), expected);
+        assert_eq!(net.active_flows(), 0);
+    }
+}
+
 /// More load on the same fabric never finishes sooner (monotonicity).
 #[test]
 fn network_monotone_in_load() {
