@@ -30,6 +30,11 @@
 //!   process exits 7 (pair with `--resume` to continue later).
 //! * `--max-events <N>` / `--max-sim-secs <S>` — per-run watchdog
 //!   budgets forwarded to every simulated job (exit 6 on breach).
+//! * `--backend <des|analytic>` — evaluation backend for every run: the
+//!   discrete-event simulator (default) or the closed-form analytic cost
+//!   model (orders of magnitude faster; validated against the DES within
+//!   per-figure error bands — see EXPERIMENTS.md). Results cache under
+//!   backend-tagged digests, so `--resume` stores never mix the two.
 //!
 //! Exit codes follow `mrbench::error`: 0 success, 2 usage, 3 config,
 //! 4 I/O, 5 parse, 6 budget exceeded, 7 deadline.
@@ -65,6 +70,9 @@ pub struct Harness {
     pub max_events: Option<u64>,
     /// Per-run simulated-time watchdog from `--max-sim-secs <S>`.
     pub max_sim_secs: Option<f64>,
+    /// Backend override from `--backend <des|analytic>`; `None` leaves
+    /// each config's own selection (the DES default) in place.
+    pub backend: Option<mrbench::BackendKind>,
     /// The opened store ([`Harness::arm`]); `parse` leaves it closed so
     /// flag parsing stays side-effect free.
     store: Option<ResultStore>,
@@ -85,7 +93,8 @@ impl Harness {
                 if matches!(e, Error::Usage(_)) {
                     eprintln!(
                         "usage: {name} [--quick] [--json [PATH]] [--csv [PATH]] [--trace [PATH]] \
-                         [--resume [DIR]] [--deadline SECS] [--max-events N] [--max-sim-secs S]"
+                         [--resume [DIR]] [--deadline SECS] [--max-events N] [--max-sim-secs S] \
+                         [--backend des|analytic]"
                     );
                 }
                 std::process::exit(e.exit_code().into());
@@ -104,6 +113,7 @@ impl Harness {
         let mut deadline_secs = None;
         let mut max_events = None;
         let mut max_sim_secs = None;
+        let mut backend = None;
         let mut it = args.iter().peekable();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -160,6 +170,12 @@ impl Harness {
                         Error::usage(format!("bad --max-sim-secs value '{v}': {e}"))
                     })?);
                 }
+                "--backend" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| Error::usage("--backend needs 'des' or 'analytic'"))?;
+                    backend = Some(v.parse::<mrbench::BackendKind>().map_err(Error::usage)?);
+                }
                 other => return Err(Error::usage(format!("unknown argument '{other}'"))),
             }
         }
@@ -172,6 +188,7 @@ impl Harness {
             deadline_secs,
             max_events,
             max_sim_secs,
+            backend,
             store: None,
             deadline_at: None,
         })
@@ -197,6 +214,9 @@ impl Harness {
         config.trace = self.trace.is_some();
         config.max_events = self.max_events;
         config.max_sim_secs = self.max_sim_secs;
+        if let Some(backend) = self.backend {
+            config.backend = backend;
+        }
         config
     }
 
@@ -548,6 +568,36 @@ mod tests {
             &["--max-events", "many"],
             &["--max-sim-secs", "soon"],
         ] {
+            let err = Harness::parse("fig2", &s(bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn backend_flag_parses_and_preps_configs() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let config = || {
+            mrbench::BenchConfig::cluster_a_default(
+                mrbench::MicroBenchmark::Avg,
+                Interconnect::GigE1,
+                ByteSize::from_mib(64),
+            )
+        };
+
+        // Default: no override, configs keep their own (DES) selection.
+        let h = Harness::parse("fig2", &s(&[])).unwrap();
+        assert!(h.backend.is_none());
+        assert_eq!(h.prep(config()).backend, mrbench::BackendKind::Des);
+
+        let h = Harness::parse("fig2", &s(&["--backend", "analytic", "--quick"])).unwrap();
+        assert_eq!(h.backend, Some(mrbench::BackendKind::Analytic));
+        assert!(h.quick);
+        assert_eq!(h.prep(config()).backend, mrbench::BackendKind::Analytic);
+
+        let h = Harness::parse("fig2", &s(&["--backend", "des"])).unwrap();
+        assert_eq!(h.prep(config()).backend, mrbench::BackendKind::Des);
+
+        for bad in [&["--backend"][..], &["--backend", "quantum"]] {
             let err = Harness::parse("fig2", &s(bad)).unwrap_err();
             assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
         }

@@ -69,6 +69,9 @@ OPTIONS:
                                                               [default: 1.0]
     --cluster <a|b>                testbed preset             [default: a]
     --engine <mrv1|yarn>           runtime                    [default: mrv1]
+    --backend <des|analytic>       evaluation backend: discrete-event
+                                   simulation or the closed-form analytic
+                                   cost model               [default: des]
     --rdma-shuffle                 use the RDMA (MRoIB) shuffle engine
     --zipf-exponent <S>            exponent for --bench zipf  [default: 1.0]
     --seed <N>                     master seed
@@ -204,6 +207,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, Error> {
                     other => return Err(Error::usage(format!("unknown engine: {other}"))),
                 }
             }
+            "--backend" => config.backend = value("--backend")?.parse()?,
             "--rdma-shuffle" => config.shuffle_engine = ShuffleEngineKind::Rdma,
             "--zipf-exponent" => {
                 config.zipf_exponent = value("--zipf-exponent")?
@@ -394,6 +398,8 @@ mod tests {
             &["--oversubscription", "lots"],
             &["--fabric-cap", "thin"],
             &["--monitor-interval", "often"],
+            &["--backend", "quantum"],
+            &["--backend"],
         ] {
             match parse(bad) {
                 Err(Error::Usage(msg)) => assert!(!msg.is_empty(), "{bad:?}"),
@@ -613,6 +619,36 @@ mod tests {
         assert!(cli.config.validate().is_err());
         let cli = parse(&["--monitor-interval", "0"]).unwrap();
         assert!(cli.config.validate().is_err());
+    }
+
+    #[test]
+    fn backend_flag() {
+        use crate::config::BackendKind;
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.config.backend, BackendKind::Des);
+        let cli = parse(&["--backend", "analytic"]).unwrap();
+        assert_eq!(cli.config.backend, BackendKind::Analytic);
+        let cli = parse(&["--backend", "des"]).unwrap();
+        assert_eq!(cli.config.backend, BackendKind::Des);
+    }
+
+    #[test]
+    fn invalid_monitor_interval_is_a_config_error_exit_3() {
+        // The parser accepts any float; validation rejects non-positive /
+        // non-finite intervals and the runner surfaces that as
+        // `Error::Config`, whose documented exit code is 3 — the contract
+        // the mrbench binary relies on.
+        for bad in ["0", "-1.5", "NaN", "inf"] {
+            let cli = parse(&["--monitor-interval", bad]).unwrap();
+            let msg = cli.config.validate().unwrap_err();
+            assert!(msg.contains("monitor interval"), "{bad}: {msg}");
+            let err = crate::run(&cli.config).unwrap_err();
+            assert!(matches!(err, Error::Config(_)), "{bad}: {err:?}");
+            assert_eq!(err.exit_code(), 3, "{bad}");
+        }
+        // A positive finite interval still passes end to end.
+        let cli = parse(&["--monitor-interval", "0.25"]).unwrap();
+        cli.config.validate().unwrap();
     }
 
     #[test]

@@ -30,6 +30,49 @@ pub(crate) fn interconnect_token(ic: Interconnect) -> &'static str {
     }
 }
 
+/// Which execution backend evaluates a [`BenchConfig`].
+///
+/// The default discrete-event simulation replays the full MapReduce
+/// pipeline event by event; the analytic backend evaluates Herodotou-style
+/// closed-form per-phase cost equations instead (see
+/// `mapreduce::analytic`), trading per-task fidelity for microsecond
+/// evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum BackendKind {
+    /// The discrete-event simulator (`mrbench::run_des`).
+    #[default]
+    Des,
+    /// The closed-form analytic cost model (`mapreduce::analytic`).
+    Analytic,
+}
+
+impl BackendKind {
+    /// Stable CLI/artifact token.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Des => "des",
+            BackendKind::Analytic => "analytic",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "des" | "sim" | "simulator" => Ok(BackendKind::Des),
+            "analytic" | "analytical" | "model" => Ok(BackendKind::Analytic),
+            other => Err(format!("unknown backend: {other} (want des|analytic)")),
+        }
+    }
+}
+
 /// How much intermediate data the job generates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ShuffleVolume {
@@ -102,6 +145,10 @@ pub struct BenchConfig {
     /// sub-second `--quick` jobs need a finer interval for a usable
     /// series.
     pub monitor_interval_s: f64,
+    /// Which execution backend evaluates this config (`--backend`):
+    /// the discrete-event simulator (default) or the closed-form
+    /// analytic cost model.
+    pub backend: BackendKind,
 }
 
 impl BenchConfig {
@@ -138,6 +185,7 @@ impl BenchConfig {
             oversubscription: 1.0,
             fabric_cap_mb_s: None,
             monitor_interval_s: 1.0,
+            backend: BackendKind::Des,
         }
     }
 
@@ -373,6 +421,9 @@ impl BenchConfig {
                     Json::from(self.monitor_interval_s),
                 ));
             }
+            if self.backend != BackendKind::Des {
+                fields.push(("backend".into(), Json::from(self.backend.label())));
+            }
         }
         doc
     }
@@ -442,6 +493,12 @@ impl BenchConfig {
             monitor_interval_s: match json.get("monitor_interval_s") {
                 None | Some(Json::Null) => 1.0,
                 Some(v) => v.as_f64().ok_or("bad monitor_interval_s")?,
+            },
+            // Absent in artifacts written before the analytic backend
+            // existed; the DES was the only engine then.
+            backend: match json.get("backend") {
+                None | Some(Json::Null) => BackendKind::Des,
+                Some(v) => v.as_str().ok_or("bad backend")?.parse()?,
             },
         })
     }
@@ -585,6 +642,7 @@ mod tests {
             "oversubscription",
             "fabric_cap_mb_s",
             "monitor_interval_s",
+            "backend",
         ] {
             assert!(!text.contains(absent), "{absent} leaked into {text}");
         }
@@ -593,6 +651,7 @@ mod tests {
         assert_eq!(back.oversubscription, 1.0);
         assert_eq!(back.fabric_cap_mb_s, None);
         assert_eq!(back.monitor_interval_s, 1.0);
+        assert_eq!(back.backend, BackendKind::Des);
 
         // Non-default values survive the canonical round trip.
         let mut c = c;
@@ -609,6 +668,28 @@ mod tests {
         assert_eq!(back.oversubscription, 4.0);
         assert_eq!(back.fabric_cap_mb_s, Some(1500.0));
         assert_eq!(back.monitor_interval_s, 0.5);
+    }
+
+    #[test]
+    fn backend_field_round_trips_and_tags_the_document() {
+        let mut c = BenchConfig::cluster_a_default(
+            MicroBenchmark::Avg,
+            Interconnect::GigE1,
+            ByteSize::from_gib(1),
+        );
+        c.backend = BackendKind::Analytic;
+        let text = c.to_json().to_pretty();
+        assert!(text.contains("\"backend\""), "{text}");
+        let back = BenchConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.backend, BackendKind::Analytic);
+        assert_eq!(back.to_json().to_pretty(), text);
+        // Token parsing covers the CLI aliases.
+        assert_eq!("des".parse::<BackendKind>().unwrap(), BackendKind::Des);
+        assert_eq!(
+            "ANALYTIC".parse::<BackendKind>().unwrap(),
+            BackendKind::Analytic
+        );
+        assert!("quantum".parse::<BackendKind>().is_err());
     }
 
     #[test]

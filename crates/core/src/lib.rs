@@ -35,6 +35,7 @@
 //! ```
 
 pub mod artifact;
+pub mod backend;
 pub mod bench;
 pub mod calib;
 pub mod cli;
@@ -48,8 +49,9 @@ pub mod store;
 pub mod sweep;
 
 pub use artifact::{ArtifactPaths, Artifacts, Panel};
+pub use backend::{backend_for, Backend};
 pub use bench::MicroBenchmark;
-pub use config::{BenchConfig, ShuffleVolume};
+pub use config::{BackendKind, BenchConfig, ShuffleVolume};
 pub use error::Error;
 pub use gen::KvGenerator;
 pub use report::BenchReport;

@@ -1,30 +1,15 @@
-//! Runs a [`BenchConfig`] through the simulated engine.
+//! Runs a [`BenchConfig`] through the backend it selects.
 
-use mapreduce::engine::Engine;
-
+use crate::backend::backend_for;
 use crate::config::BenchConfig;
 use crate::error::Error;
 use crate::report::BenchReport;
 
-/// Run one micro-benchmark to completion.
+/// Run one micro-benchmark to completion on the backend named by
+/// [`BenchConfig::backend`] — the discrete-event simulator by default,
+/// or the closed-form analytic model (see [`crate::backend`]).
 pub fn run(config: &BenchConfig) -> Result<BenchReport, Error> {
-    config.validate().map_err(Error::Config)?;
-    let spec = config.job_spec();
-    let factory = config.factory();
-    let mut engine = Engine::with_topology(
-        spec,
-        factory.as_ref(),
-        config.node_spec(),
-        config.topology(),
-    );
-    if config.trace {
-        engine.enable_tracing();
-    }
-    let result = engine.run();
-    Ok(BenchReport {
-        config: config.clone(),
-        result,
-    })
+    backend_for(config.backend).run(config)
 }
 
 #[cfg(test)]

@@ -15,6 +15,33 @@
 //! fragment. Reads treat anything unreadable, unparsable, or
 //! mis-digested as a cache miss: corruption costs a re-run, not a wrong
 //! answer.
+//!
+//! ## The digest contract
+//!
+//! [`config_digest`] hashes the config's **canonical JSON**
+//! ([`BenchConfig::to_json`] rendered compact), and that encoding — not
+//! the in-memory struct — is the contract:
+//!
+//! * **Fields added after v1 are emitted only when non-default** (racks,
+//!   oversubscription, fabric cap, monitor interval, backend, …), so a
+//!   config that never touches them digests exactly as it did before the
+//!   field existed. Old fragments stay valid across suite upgrades; a new
+//!   knob can never invalidate a cache that never used it.
+//! * The flip side: **an explicit value equal to the built-in behaviour
+//!   still digests differently from leaving the field unset** whenever
+//!   the encoder cannot see the equivalence. `fabric_cap_mb_s:
+//!   Some(aggregate-NIC-rate)` simulates identically to `None` (the cap
+//!   never binds) but emits a key and therefore gets its own digest;
+//!   likewise `racks: 1` set explicitly vs. defaulted. Equal digests
+//!   imply equal results; *unequal digests do not imply different
+//!   results* — the store trades a few duplicate cells for never serving
+//!   a stale one.
+//! * **Every semantic knob must reach the JSON.** Anything that can
+//!   change a result — including which [`crate::backend::Backend`]
+//!   produced it — must appear in the encoding the moment it departs
+//!   from the default, so DES and analytic results for the same workload
+//!   live under distinct keys and can never shadow each other
+//!   (`digest_distinguishes_every_semantic_knob` below pins this).
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -211,6 +238,52 @@ mod tests {
         let mut other = small_config();
         other.interconnect = Interconnect::RdmaFdr;
         assert_ne!(a, config_digest(&other));
+    }
+
+    #[test]
+    fn digest_distinguishes_every_semantic_knob() {
+        // The digest-contract pin (see module docs): each post-v1 knob
+        // must move the cache key the moment it departs from its
+        // default, or a backend/topology change could serve a stale
+        // result recorded under different semantics.
+        type Mutation = Box<dyn Fn(&mut BenchConfig)>;
+        let base = config_digest(&small_config());
+        let mutations: Vec<(&str, Mutation)> = vec![
+            ("racks", Box::new(|c| c.racks = 2)),
+            ("oversubscription", Box::new(|c| c.oversubscription = 4.0)),
+            (
+                "fabric_cap_mb_s",
+                Box::new(|c| c.fabric_cap_mb_s = Some(200.0)),
+            ),
+            (
+                "monitor_interval_s",
+                Box::new(|c| c.monitor_interval_s = 0.5),
+            ),
+            (
+                "backend",
+                Box::new(|c| c.backend = crate::config::BackendKind::Analytic),
+            ),
+        ];
+        let mut seen = vec![base.clone()];
+        for (name, mutate) in &mutations {
+            let mut c = small_config();
+            mutate(&mut c);
+            let d = config_digest(&c);
+            assert!(!seen.contains(&d), "{name} must move the digest");
+            seen.push(d);
+        }
+
+        // The documented asymmetry: an explicit fabric cap equal to the
+        // aggregate NIC rate simulates identically to no cap, yet emits
+        // a key and so digests apart. Duplicate cells, never stale ones.
+        let mut explicit = small_config();
+        let nic_mb_s =
+            explicit.topology().nic_rate().as_bytes_per_sec() * explicit.slaves as f64 / 1e6;
+        explicit.fabric_cap_mb_s = Some(nic_mb_s);
+        assert_ne!(base, config_digest(&explicit));
+        let a = crate::runner::run(&small_config()).unwrap();
+        let b = crate::runner::run(&explicit).unwrap();
+        assert_eq!(a.result.job_time, b.result.job_time, "cap never binds");
     }
 
     #[test]

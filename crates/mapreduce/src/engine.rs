@@ -1045,6 +1045,7 @@ impl<'f> Engine<'f> {
             cpu_series,
             net_rx_series,
             phases,
+            sim_work: self.budget.events() + self.net.work_units(),
             trace,
         }
     }

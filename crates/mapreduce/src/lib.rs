@@ -21,7 +21,11 @@
 //!   and the job-level outcome types for fault tolerance.
 //! * [`engine`] — the deterministic event-loop driver; start at
 //!   [`engine::run_job`].
+//! * [`analytic`] — the closed-form (Herodotou-style) cost-model backend:
+//!   the same [`job::JobResult`] in O(maps + reduces) arithmetic instead
+//!   of an event-by-event replay; start at [`analytic::evaluate`].
 
+pub mod analytic;
 pub mod conf;
 pub mod costs;
 pub mod counters;
@@ -37,6 +41,7 @@ pub mod schedule;
 pub mod shuffle;
 pub(crate) mod task;
 
+pub use analytic::AnalyticJob;
 pub use conf::{EngineKind, JobConf, ShuffleEngineKind};
 pub use costs::CostModel;
 pub use counters::Counters;

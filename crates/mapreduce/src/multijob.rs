@@ -141,11 +141,20 @@ impl MultiJobSpec {
 
 /// Per-tenant percentile summary, the payload of the
 /// `mrbench-multijob-v1` artifact's `tenants` array.
+///
+/// **Empty-sample rule:** a tenant that completed zero jobs has no job
+/// times, so its percentiles are *undefined* — reported as `NaN` here
+/// and `null` in the JSON (the suite's standing NaN convention), never
+/// as a numeric placeholder a plot could mistake for a measured time.
+/// Consumers must gate on `jobs > 0` before reading the percentiles.
+/// With exactly one job, nearest-rank makes p50 = p95 = p99 = that
+/// job's time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TenantReport {
     /// Tenant name.
     pub tenant: String,
-    /// Jobs this tenant completed.
+    /// Jobs this tenant completed. `0` means the percentiles below are
+    /// `NaN` (see the empty-sample rule above).
     pub jobs: usize,
     /// Median job time (arrival to last reduce), seconds.
     pub p50_s: f64,
@@ -526,12 +535,15 @@ pub fn run(spec: &MultiJobSpec) -> MultiJobResult {
             let mut times = std::mem::take(&mut job_times[t]);
             times.sort_by(f64::total_cmp);
             if times.is_empty() {
+                // No sample, no percentiles: NaN renders as JSON null,
+                // so a zero-job tenant can never masquerade as one with
+                // instantaneous jobs (see the TenantReport docs).
                 TenantReport {
                     tenant: ts.name.clone(),
                     jobs: 0,
-                    p50_s: 0.0,
-                    p95_s: 0.0,
-                    p99_s: 0.0,
+                    p50_s: f64::NAN,
+                    p95_s: f64::NAN,
+                    p99_s: f64::NAN,
                 }
             } else {
                 TenantReport {
@@ -674,6 +686,47 @@ mod tests {
         assert_eq!(r.jobs_completed, 3);
         // The last job cannot finish before it arrives.
         assert!(r.makespan_s > 10.0);
+    }
+
+    #[test]
+    fn zero_job_tenant_reports_nan_percentiles_not_garbage() {
+        // One job, two tenants: round-robin assignment starves beta.
+        let mut s = spec(flat8());
+        s.n_jobs = 1;
+        let r = run(&s);
+        assert_eq!(r.jobs_completed, 1);
+        let beta = &r.tenants[1];
+        assert_eq!(beta.jobs, 0);
+        assert!(
+            beta.p50_s.is_nan() && beta.p95_s.is_nan() && beta.p99_s.is_nan(),
+            "empty sample must have undefined percentiles: {beta:?}"
+        );
+        // The serialized JSON keeps all five keys — downstream schema
+        // checks key the exact set — with the percentiles written as
+        // null (the writer's non-finite rule), never 0.0.
+        let j = Json::parse(&beta.to_json().to_compact()).unwrap();
+        assert_eq!(j.field_u64("jobs").unwrap(), 0);
+        for key in ["p50_s", "p95_s", "p99_s"] {
+            assert!(
+                matches!(j.req(key).unwrap(), Json::Null),
+                "{key} must be null for a zero-job tenant"
+            );
+            assert!(j.field_f64_or_nan(key).unwrap().is_nan());
+        }
+    }
+
+    #[test]
+    fn one_job_tenant_collapses_all_percentiles_onto_its_time() {
+        // Two jobs over two tenants: each tenant completes exactly one.
+        let mut s = spec(flat8());
+        s.n_jobs = 2;
+        let r = run(&s);
+        for t in &r.tenants {
+            assert_eq!(t.jobs, 1, "{t:?}");
+            assert!(t.p50_s > 0.0);
+            assert_eq!(t.p50_s.to_bits(), t.p95_s.to_bits(), "{t:?}");
+            assert_eq!(t.p95_s.to_bits(), t.p99_s.to_bits(), "{t:?}");
+        }
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct Network {
     /// (A previous revision accumulated this in an `f64`, which silently
     /// loses whole bytes once the total passes 2^53.)
     delivered: u64,
+    /// Cumulative per-flow touches: byte-integration steps plus solver
+    /// rate changes — the network's actual inner-loop cost, for
+    /// simulated-work accounting (never wall clock).
+    work_units: u64,
     // Reusable event-processing scratch, so the advance path allocates
     // nothing in steady state.
     completed_scratch: Vec<u32>,
@@ -141,6 +145,7 @@ impl Network {
             node_rx: (0..n).map(|_| RateIntegrator::new(SimTime::ZERO)).collect(),
             loopback: Rate::from_mb_per_sec(LOOPBACK_RATE_MB_S),
             delivered: 0,
+            work_units: 0,
             completed_scratch: Vec::new(),
             dirty_nodes: Vec::new(),
             node_mark: vec![0; n],
@@ -172,6 +177,14 @@ impl Network {
     /// Total payload bytes fully delivered so far.
     pub fn delivered_bytes(&self) -> u64 {
         self.delivered
+    }
+
+    /// Cumulative simulated-work units: one per flow touched by a
+    /// byte-integration step or a solver rate change. The measure of how
+    /// much computation the network model performed — deterministic,
+    /// comparable across runs, and independent of wall clock.
+    pub fn work_units(&self) -> u64 {
+        self.work_units
     }
 
     /// Begin a transfer of `bytes` from `src` to `dst` at time `now`.
@@ -437,6 +450,7 @@ impl Network {
         assert!(now >= self.clock, "network clock cannot run backwards");
         let dt = now.since(self.clock).as_secs_f64();
         if dt > 0.0 {
+            self.work_units += self.order.len() as u64;
             for &s in &self.order {
                 let s = s as usize;
                 if self.active[s] {
@@ -473,6 +487,9 @@ impl Network {
     /// so the arithmetic matches a full id-ordered recompute bit for bit.
     fn resolve_rates(&mut self) {
         self.solver.solve();
+        // Every registered flow is frozen exactly once per solve, and each
+        // changed rate is propagated back into the flow table.
+        self.work_units += (self.solver.len() + self.solver.changed().len()) as u64;
         for i in 0..self.solver.changed().len() {
             let (user, rate) = self.solver.changed()[i];
             let s = user as usize;
