@@ -1,0 +1,6 @@
+// Fixture: must trip `float-accumulation-order` — the reduction folds
+// values in channel-arrival order, which follows the OS scheduler, and
+// float addition does not commute in rounding.
+fn total(rx: &Receiver<f64>) -> f64 {
+    rx.try_iter().sum::<f64>()
+}

@@ -1,0 +1,10 @@
+// Fixture: must trip `rng-draw-discipline` — whether the draw happens
+// depends on how many slots the scheduler freed this tick, so the
+// generator's position (and every later draw) becomes
+// schedule-dependent.
+fn jitter(rng: &mut Rng, slots_free: usize) -> f64 {
+    if slots_free > 0 {
+        return rng.next_f64();
+    }
+    0.0
+}

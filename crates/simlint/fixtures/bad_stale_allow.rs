@@ -1,0 +1,7 @@
+// Fixture: must trip `stale-allow` — nothing below still trips
+// `no-wall-clock`, so the directive is dead weight that hides future
+// violations at this site.
+// simlint: allow(no-wall-clock, leftover from a removed Instant call)
+fn quiet() -> u64 {
+    7
+}

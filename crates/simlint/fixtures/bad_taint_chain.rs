@@ -1,0 +1,23 @@
+// Fixture: must trip `determinism-taint` — the wall-clock read sits
+// two calls below `Engine::step`, where per-line token rules alone
+// cannot connect it to sim-state mutation. The diagnostic must carry
+// the full chain Engine::step -> advance_clock -> read_time.
+use std::time::Instant;
+
+struct Engine;
+
+impl Engine {
+    pub fn step(&mut self) {
+        advance_clock();
+    }
+}
+
+fn advance_clock() {
+    read_time();
+}
+
+fn read_time() -> u64 {
+    let t = Instant::now();
+    let _ = t;
+    0
+}

@@ -400,4 +400,122 @@ mod tests {
             .collect();
         assert_eq!(lits, vec!["1.5e-3", "0x1f", "2", "10"]);
     }
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lifetime_vs_char_disambiguation_battery() {
+        // Lifetimes in every position they appear in real signatures.
+        let (toks, _) = lex("impl<'a, 'b: 'a> Iter<'a> { fn get(&'a self) -> &'b str { x } }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            6
+        );
+        // The anonymous lifetime.
+        let (toks, _) = lex("fn f(x: &Foo<'_>) {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "_"));
+        // Loop labels, at definition and at the break.
+        let (toks, _) = lex("'outer: loop { break 'outer; }");
+        let labels: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(labels.len(), 2);
+        assert!(labels.iter().all(|t| t.text == "outer"));
+        // Plain and escaped char literals stay literals.
+        for src in [
+            "'x'",
+            "'_'",
+            "' '",
+            "'('",
+            "'\\''",
+            "'\\\\'",
+            "'\\n'",
+            "'\\u{1F600}'",
+        ] {
+            let (toks, _) = lex(src);
+            assert_eq!(toks.len(), 1, "{src} must be one token: {toks:?}");
+            assert_eq!(toks[0].kind, TokKind::Literal, "{src}");
+        }
+        // A char range: two literals, no lifetimes.
+        let (toks, _) = lex("'a'..='z'");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+        assert!(toks.iter().all(|t| t.kind != TokKind::Lifetime));
+        // Byte chars: `b` lexes as an ident, the quoted part as a char.
+        let (toks, _) = lex("b'x' b'\\''");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+        // Mixing both on one line must not confuse either.
+        let (toks, _) = lex("fn f<'a>(c: char) -> bool { c == 'a' }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'c'"));
+    }
+
+    #[test]
+    fn nested_block_comment_edge_cases() {
+        // Depth-2 nesting closes where Rust closes it.
+        let (toks, comments) = lex("/* a /* b */ HashSet */ fn real() {}");
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("HashSet"));
+        assert!(toks.iter().any(|t| t.text == "real"));
+        assert!(toks.iter().all(|t| t.text != "HashSet"));
+        // An unterminated nested comment swallows the rest of the file
+        // instead of leaking tokens or panicking.
+        let (toks, comments) = lex("/* open /* still open */ Instant");
+        assert!(toks.is_empty(), "{toks:?}");
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.ends_with("Instant"));
+        // Line numbers survive multi-line comments.
+        let (toks, _) = lex("/*\n * doc\n */\nlet after = 1;");
+        assert_eq!(toks.iter().find(|t| t.text == "after").unwrap().line, 4);
+        // `*/` then immediately `/*` again: two comments, not one.
+        let (_, comments) = lex("/* one */ /* two */");
+        assert_eq!(comments.len(), 2);
+    }
+
+    #[test]
+    fn raw_string_edge_cases() {
+        // Embedded quotes and a `"#` that does not close an `r##` string.
+        let (toks, _) = lex(r####"let s = r##"has "# inside"##;"####);
+        let lits: Vec<_> = kinds(r####"let s = r##"has "# inside"##;"####)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 1, "{toks:?}");
+        assert!(toks.iter().all(|t| t.text != "inside"));
+        // Raw byte strings.
+        let (toks, _) = lex(r###"let b = br#"HashMap"#; let after = 1;"###);
+        assert!(toks.iter().all(|t| t.text != "HashMap"));
+        assert!(toks.iter().any(|t| t.text == "after"));
+        // Backslashes are NOT escapes inside raw strings: `r"\"` is a
+        // complete string holding one backslash.
+        let (toks, _) = lex(r#"let s = r"\"; let after = 1;"#);
+        assert!(toks.iter().any(|t| t.text == "after"), "{toks:?}");
+        // Multi-line raw strings keep the line count right.
+        let (toks, _) = lex("let s = r#\"a\nb\nc\"#;\nlet after = 1;");
+        assert_eq!(toks.iter().find(|t| t.text == "after").unwrap().line, 4);
+        // Identifiers that merely start with r/b/c are not strings.
+        let (toks, _) = lex("let ready = radius + crate_count + bytes;");
+        for id in ["ready", "radius", "crate_count", "bytes"] {
+            assert!(
+                toks.iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == id),
+                "{id} mislexed: {toks:?}"
+            );
+        }
+    }
 }

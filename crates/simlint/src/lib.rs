@@ -14,6 +14,10 @@
 //! | `no-os-entropy` | `thread_rng` / `from_entropy` / `RandomState` / `OsRng` |
 //! | `total-float-order` | `partial_cmp` calls (use `f64::total_cmp`) |
 //! | `unit-suffix` | raw-numeric time/byte/rate names without `_s`/`_bytes`/`_bps` |
+//! | `determinism-taint` | wall-clock/entropy/unordered sinks *transitively reachable* from `Engine`/`Network`/`multijob` sim-state mutation (full call chain in the diagnostic) |
+//! | `rng-draw-discipline` | RNG draws inside conditionals guarded by scheduling state |
+//! | `float-accumulation-order` | `f64` reductions over non-provably-deterministic iteration order |
+//! | `stale-allow` | an `allow` directive whose rule no longer fires at that site |
 //!
 //! Run it as `cargo run -p simlint -- check` (add `--json` for
 //! machine-readable output). Justified exceptions use an inline
@@ -32,8 +36,13 @@
 //! so `syn` is not available. Token-level matching over-approximates
 //! (e.g. any `HashMap` mention trips `no-unordered-iter`), which is the
 //! intended posture — exceptions are written down and audited via the
-//! allow directive instead of inferred.
+//! allow directive instead of inferred. On top of the tokens, [`items`]
+//! recovers fn/impl/use structure and [`analysis`] runs the
+//! program-wide passes (call-graph taint, draw discipline, float
+//! accumulation order) with the same over-approximating philosophy.
 
+pub mod analysis;
 pub mod driver;
+pub mod items;
 pub mod lexer;
 pub mod rules;

@@ -10,7 +10,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use simlint::driver::{check_file, check_workspace, diags_to_json, diags_to_text};
+use simlint::driver::{diags_to_text, lint_sources, report_to_json, workspace_report, LintReport};
 use simlint::rules::RULES;
 
 fn usage() -> ExitCode {
@@ -63,16 +63,26 @@ fn check_cmd(args: &[String]) -> ExitCode {
         }
     };
 
-    let result = if files.is_empty() {
-        check_workspace(&root)
+    let result: std::io::Result<LintReport> = if files.is_empty() {
+        workspace_report(&root)
     } else {
-        files.iter().try_fold(Vec::new(), |mut acc, f| {
-            acc.extend(check_file(&root, f)?);
-            Ok(acc)
-        })
+        // Explicit files are checked together as one program, in
+        // sorted path order, so cross-file passes still apply.
+        files
+            .iter()
+            .map(|f| {
+                let src = std::fs::read_to_string(f)?;
+                let rel = f.strip_prefix(&root).unwrap_or(f);
+                Ok((rel.display().to_string(), src))
+            })
+            .collect::<std::io::Result<Vec<_>>>()
+            .map(|mut sources| {
+                sources.sort_by(|a, b| a.0.cmp(&b.0));
+                lint_sources(&sources)
+            })
     };
-    let diags = match result {
-        Ok(d) => d,
+    let report = match result {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("simlint: {e}");
             return ExitCode::from(2);
@@ -80,14 +90,14 @@ fn check_cmd(args: &[String]) -> ExitCode {
     };
 
     if json {
-        println!("{}", diags_to_json(&diags));
-    } else if diags.is_empty() {
+        println!("{}", report_to_json(&report));
+    } else if report.diags.is_empty() {
         eprintln!("simlint: clean");
     } else {
-        print!("{}", diags_to_text(&diags));
-        eprintln!("simlint: {} diagnostic(s)", diags.len());
+        print!("{}", diags_to_text(&report.diags));
+        eprintln!("simlint: {} diagnostic(s)", report.diags.len());
     }
-    if diags.is_empty() {
+    if report.diags.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

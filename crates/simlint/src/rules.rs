@@ -36,6 +36,15 @@ pub const TOTAL_FLOAT_ORDER: &str = "total-float-order";
 pub const UNIT_SUFFIX: &str = "unit-suffix";
 /// Meta-rule: malformed or reason-less `simlint: allow` directives.
 pub const ALLOW_SYNTAX: &str = "allow-syntax";
+/// Rule: no wall-clock/entropy/unordered sinks transitively reachable
+/// from sim-state mutation (call-graph pass, see [`crate::analysis`]).
+pub const DETERMINISM_TAINT: &str = "determinism-taint";
+/// Rule: no RNG draws inside scheduling-state-guarded conditionals.
+pub const RNG_DRAW_DISCIPLINE: &str = "rng-draw-discipline";
+/// Rule: no float reductions over non-deterministic iteration order.
+pub const FLOAT_ACCUMULATION_ORDER: &str = "float-accumulation-order";
+/// Meta-rule: an allow directive that suppresses nothing is an error.
+pub const STALE_ALLOW: &str = "stale-allow";
 
 /// All rules with one-line summaries, for `simlint rules` and the docs.
 pub const RULES: &[(&str, &str)] = &[
@@ -62,6 +71,22 @@ pub const RULES: &[(&str, &str)] = &[
     (
         ALLOW_SYNTAX,
         "simlint: allow(rule, reason) directives must name a known rule and give a reason",
+    ),
+    (
+        DETERMINISM_TAINT,
+        "no wall-clock/entropy/unordered sink transitively reachable from Engine/Network/multijob sim-state mutation (reports the full call chain)",
+    ),
+    (
+        RNG_DRAW_DISCIPLINE,
+        "no RNG draws inside conditionals guarded by scheduling state — pre-draw or use a label-keyed fresh stream",
+    ),
+    (
+        FLOAT_ACCUMULATION_ORDER,
+        "no f64/f32 reductions over channel/lock/join-ordered items — collect into an indexed or sorted buffer first",
+    ),
+    (
+        STALE_ALLOW,
+        "an allow directive whose rule no longer fires on its line (or the next) must be deleted",
     ),
 ];
 

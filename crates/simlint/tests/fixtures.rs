@@ -58,17 +58,45 @@ fn every_rule_fixture_fails() {
     assert_trips("bad_float_order.rs", "total-float-order");
     assert_trips("bad_unit_suffix.rs", "unit-suffix");
     assert_trips("bad_allow_no_reason.rs", "allow-syntax");
+    assert_trips("bad_taint_chain.rs", "determinism-taint");
+    assert_trips("bad_rng_discipline.rs", "rng-draw-discipline");
+    assert_trips("bad_float_accum.rs", "float-accumulation-order");
+    assert_trips("bad_stale_allow.rs", "stale-allow");
+}
+
+#[test]
+fn indirect_taint_is_reported_with_the_full_call_chain() {
+    // The planted violation is two calls below Engine::step; the
+    // diagnostic must name every hop, not just the leaf.
+    let out = check_fixture("bad_taint_chain.rs", false);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let taint_line = text
+        .lines()
+        .find(|l| l.contains("[determinism-taint]"))
+        .unwrap_or_else(|| panic!("no taint diagnostic in:\n{text}"));
+    for hop in [
+        "Engine::step",
+        "advance_clock",
+        "read_time",
+        "Instant::now",
+        "->",
+    ] {
+        assert!(taint_line.contains(hop), "missing {hop} in:\n{taint_line}");
+    }
 }
 
 #[test]
 fn justified_allows_are_clean() {
-    let out = check_fixture("good_allow.rs", false);
-    assert_eq!(
-        out.status.code(),
-        Some(0),
-        "good_allow.rs must pass: {}",
-        String::from_utf8_lossy(&out.stdout)
-    );
+    for name in ["good_allow.rs", "good_allow_semantic.rs"] {
+        let out = check_fixture(name, false);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{name} must pass: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
 }
 
 #[test]
@@ -85,6 +113,7 @@ fn json_output_matches_schema() {
     assert_eq!(out.status.code(), Some(1));
     let doc = simcore::json::Json::parse(&String::from_utf8_lossy(&out.stdout))
         .expect("stdout is valid JSON");
+    assert_eq!(doc.field_str("schema"), Ok("simlint-report-v2"));
     let count = doc.field_u64("count").expect("count field");
     let diags = doc.field_arr("diagnostics").expect("diagnostics field");
     assert_eq!(count as usize, diags.len());
@@ -95,6 +124,10 @@ fn json_output_matches_schema() {
         assert!(!d.field_str("rule").expect("rule").is_empty());
         assert!(!d.field_str("message").expect("message").is_empty());
     }
+    let allow_count = doc.field_u64("allow_count").expect("allow_count field");
+    let allows = doc.field_arr("allows").expect("allows field");
+    assert_eq!(allow_count as usize, allows.len());
+    assert!(!doc.field_arr("rules").expect("rules field").is_empty());
 }
 
 #[test]
@@ -110,6 +143,75 @@ fn live_workspace_is_clean() {
 }
 
 #[test]
+fn workspace_json_report_is_bit_identical_across_runs() {
+    // The lint report is itself an artifact: two runs over the same
+    // tree must produce byte-for-byte identical JSON (sorted file
+    // order, sorted diagnostics, sorted allow inventory).
+    let root = workspace_root();
+    let args = ["check", "--json", "--root", root.to_str().unwrap()];
+    let a = run(&args);
+    let b = run(&args);
+    assert_eq!(a.status.code(), b.status.code());
+    assert_eq!(a.stdout, b.stdout, "simlint --json must be deterministic");
+    assert!(!a.stdout.is_empty());
+    // And the allow inventory is path-sorted.
+    let doc = simcore::json::Json::parse(&String::from_utf8_lossy(&a.stdout)).expect("json");
+    let allows = doc.field_arr("allows").expect("allows");
+    let keys: Vec<(String, u64)> = allows
+        .iter()
+        .map(|a| {
+            (
+                a.field_str("file").expect("file").to_string(),
+                a.field_u64("line").expect("line"),
+            )
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn call_graph_sees_the_real_engine() {
+    // Guard against the item parser silently failing on real code: the
+    // taint pass only means something if `impl Engine` methods actually
+    // parse as roots and carry call edges.
+    let root = workspace_root();
+    let src = std::fs::read_to_string(root.join("crates/mapreduce/src/engine.rs"))
+        .expect("engine.rs readable");
+    let (toks, _) = simlint::lexer::lex(&src);
+    let items = simlint::items::parse_file(&toks);
+    let engine_methods: Vec<_> = items
+        .fns
+        .iter()
+        .filter(|f| f.owner.as_deref() == Some("Engine"))
+        .collect();
+    assert!(
+        engine_methods.len() >= 5,
+        "expected a parsed impl Engine block, got {} methods",
+        engine_methods.len()
+    );
+    let total_calls: usize = engine_methods.iter().map(|f| f.calls.len()).sum();
+    assert!(
+        total_calls >= 20,
+        "Engine methods should carry call edges, got {total_calls}"
+    );
+
+    let net = std::fs::read_to_string(root.join("crates/simnet/src/network.rs"))
+        .or_else(|_| std::fs::read_to_string(root.join("crates/simnet/src/lib.rs")))
+        .expect("simnet source readable");
+    let (toks, _) = simlint::lexer::lex(&net);
+    let items = simlint::items::parse_file(&toks);
+    assert!(
+        items
+            .fns
+            .iter()
+            .any(|f| f.owner.as_deref() == Some("Network")),
+        "expected parsed impl Network methods"
+    );
+}
+
+#[test]
 fn rules_subcommand_lists_every_rule() {
     let out = run(&["rules"]);
     assert_eq!(out.status.code(), Some(0));
@@ -121,6 +223,10 @@ fn rules_subcommand_lists_every_rule() {
         "total-float-order",
         "unit-suffix",
         "allow-syntax",
+        "determinism-taint",
+        "rng-draw-discipline",
+        "float-accumulation-order",
+        "stale-allow",
     ] {
         assert!(text.contains(rule), "missing {rule} in:\n{text}");
     }
